@@ -1,0 +1,62 @@
+// A3 — §IV.A.3 ablation: lazy vs eager black-holing.
+//
+// Quantifies the duplicate work on a workload with shared expensive
+// thunks (APSP's shared row chains) and confirms the paper's "surprising"
+// observation that eager black-holing carries little cost even on a
+// workload with NO sharing (sumEuler's disjoint chunks).
+#include "support.hpp"
+
+using namespace ph;
+using namespace ph::bench;
+
+int main(int argc, char** argv) {
+  const std::int64_t napsp = arg_int(argc, argv, "--napsp", 48);
+  const std::int64_t nse = arg_int(argc, argv, "--nse", 240);
+  const std::uint32_t cores = static_cast<std::uint32_t>(arg_int(argc, argv, "--cores", 8));
+  Program prog = make_full_program();
+  DistMat d = random_graph(static_cast<std::size_t>(napsp), 4242);
+  const std::int64_t apsp_expect = apsp_checksum(floyd_warshall(d));
+  const std::int64_t se_expect = sum_euler_reference(nse);
+
+  std::printf("A3 — black-holing policy, %u cores\n\n", cores);
+  std::printf("%-34s %12s %12s %14s\n", "workload / policy", "runtime",
+              "dup updates", "total steps");
+  for (BlackholePolicy bh : {BlackholePolicy::Lazy, BlackholePolicy::Eager}) {
+    RtsConfig cfg = config_worksteal(cores);
+    cfg.blackhole = bh;
+    cfg.heap.nursery_words = 32 * 1024;
+    // Shared-thunk workload: APSP.
+    RunStats s = run_gph(prog, cfg, [&](Machine& m) {
+      Obj* nv = make_int(m, 0, napsp);
+      Obj* mo = make_int_matrix(m, 0, d);
+      return m.spawn_apply(prog.find("apspChecksum"), {nv, mo}, 0);
+    });
+    check_value(s.value, apsp_expect, "apsp");
+    std::printf("%-34s %12llu %12llu %14llu\n",
+                bh == BlackholePolicy::Lazy ? "apsp (shared rows), lazy BH"
+                                            : "apsp (shared rows), eager BH",
+                static_cast<unsigned long long>(s.makespan),
+                static_cast<unsigned long long>(s.dup_updates),
+                static_cast<unsigned long long>(s.steps));
+  }
+  for (BlackholePolicy bh : {BlackholePolicy::Lazy, BlackholePolicy::Eager}) {
+    RtsConfig cfg = config_worksteal(cores);
+    cfg.blackhole = bh;
+    // Disjoint workload: sumEuler — eager BH should cost ~nothing.
+    RunStats s = run_gph(prog, cfg, [&](Machine& m) {
+      return m.spawn_apply(prog.find("sumEulerParRR"),
+                           {make_int(m, 0, 40), make_int(m, 0, nse)}, 0);
+    });
+    check_value(s.value, se_expect, "sumEuler");
+    std::printf("%-34s %12llu %12llu %14llu\n",
+                bh == BlackholePolicy::Lazy ? "sumEuler (disjoint), lazy BH"
+                                            : "sumEuler (disjoint), eager BH",
+                static_cast<unsigned long long>(s.makespan),
+                static_cast<unsigned long long>(s.dup_updates),
+                static_cast<unsigned long long>(s.steps));
+  }
+  std::printf("\nExpected: on APSP eager BH eliminates duplicate updates and\n"
+              "slashes runtime; on sumEuler the two policies are within noise\n"
+              "(the paper's 'little performance disadvantage').\n");
+  return 0;
+}

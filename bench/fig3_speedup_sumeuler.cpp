@@ -1,0 +1,47 @@
+// E3 — Fig. 3 (left): relative speedup of sumEuler on the 16-core AMD
+// machine, for the four GpH runtime ladder versions and Eden.
+//
+// Expected shape: near-linear speedup to 8 cores flattening toward 16;
+// the plain configuration trails (GC barrier), work stealing leads the
+// GpH versions, Eden matches or beats them.
+#include "support.hpp"
+
+using namespace ph;
+using namespace ph::bench;
+
+int main(int argc, char** argv) {
+  const std::int64_t n = arg_int(argc, argv, "--n", 240);
+  const std::int64_t nchunks = arg_int(argc, argv, "--chunks", 64);
+  const std::int64_t expect = sum_euler_reference(n);
+  Program prog = make_full_program();
+
+  std::vector<std::uint32_t> cores = {1, 2, 4, 8, 16};
+  std::vector<std::string> versions = {"GpH plain", "GpH big-alloc", "GpH +gc-sync",
+                                       "GpH +work-stealing", "Eden (PEs = cores)"};
+
+  auto run_one = [&](std::size_t v, std::uint32_t c) -> std::uint64_t {
+    if (v < 4) {
+      RtsConfig cfg = gph_ladder(c)[v].cfg;
+      RunStats s = run_gph(prog, cfg, [&](Machine& m) {
+        return m.spawn_apply(prog.find("sumEulerParRR"),
+                             {make_int(m, 0, nchunks), make_int(m, 0, n)}, 0);
+      });
+      check_value(s.value, expect, versions[v].c_str());
+      return s.makespan;
+    }
+    RunStats s = run_eden(prog, eden_config(c, c), [&](EdenSystem& sys) {
+      std::vector<Obj*> chunks = rr_inputs(sys.pe(0), n, c);
+      Obj* partials = skel::par_map_reduce(sys, prog.find("sumPhi"), chunks);
+      return skel::root_apply(sys, prog.find("sum"), {partials});
+    });
+    check_value(s.value, expect, versions[v].c_str());
+    return s.makespan;
+  };
+
+  std::printf("Fig.3 (left) — sumEuler [1..%lld], %lld chunks, cores 1..16\n",
+              static_cast<long long>(n), static_cast<long long>(nchunks));
+  print_speedup_table("sumEuler", versions, cores, run_one);
+  std::printf("\nExpected shape: near-linear to 8 cores then flattening; plain\n"
+              "worst, work stealing best among GpH, Eden comparable or better.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks of the runtime's primitives (google-benchmark): spark
+// deque operations, heap allocation, abstract-machine step throughput,
+// graph packing. These are wall-clock benchmarks of the implementation
+// itself, not paper reproductions.
+#include <benchmark/benchmark.h>
+
+#include "eden/pack.hpp"
+#include "progs/all.hpp"
+#include "rts/marshal.hpp"
+#include "rts/wsdeque.hpp"
+#include "sim/sim_driver.hpp"
+
+namespace {
+
+using namespace ph;
+
+void BM_WsDequePushPop(benchmark::State& state) {
+  WsDeque<std::uint64_t> d(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    d.push(++v);
+    benchmark::DoNotOptimize(d.pop());
+  }
+}
+BENCHMARK(BM_WsDequePushPop);
+
+void BM_WsDequeSteal(benchmark::State& state) {
+  WsDeque<std::uint64_t> d(1 << 20);
+  for (std::uint64_t i = 0; i < (1 << 20); ++i) d.push(i);
+  for (auto _ : state) {
+    auto s = d.steal();
+    if (!s) {
+      state.PauseTiming();
+      for (std::uint64_t i = 0; i < (1 << 20); ++i) d.push(i);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_WsDequeSteal);
+
+const Program& full_program() {
+  static Program p = make_full_program();
+  return p;
+}
+
+void BM_HeapAlloc(benchmark::State& state) {
+  Machine m(full_program(), config_plain(1));
+  for (auto _ : state) {
+    Obj* o = m.heap().alloc(0, ObjKind::Con, 1, 2);
+    if (o == nullptr) {
+      state.PauseTiming();
+      m.collect();
+      state.ResumeTiming();
+      o = m.heap().alloc(0, ObjKind::Con, 1, 2);
+    }
+    o->ptr_payload()[0] = m.static_con(0);
+    o->ptr_payload()[1] = m.static_con(0);
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_HeapAlloc);
+
+void BM_EvalStepsSumList(benchmark::State& state) {
+  // Steps/second of the abstract machine on `sum [1..n]`.
+  const Program& prog = full_program();
+  const std::int64_t n = state.range(0);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    Machine m(prog, config_plain(1));
+    Tso* t = m.spawn_apply(prog.find("sumEulerSeq"), {make_int(m, 0, n)}, 0);
+    SimDriver d(m);
+    SimResult r = d.run(t);
+    steps += r.mutator_steps;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EvalStepsSumList)->Arg(30)->Arg(60);
+
+void BM_PackUnpackList(benchmark::State& state) {
+  const Program& prog = full_program();
+  Machine m(prog, config_plain(1));
+  std::vector<std::int64_t> xs(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<std::int64_t>(i * 3);
+  std::vector<Obj*> protect{make_int_list(m, 0, xs)};
+  RootGuard guard(m, protect);
+  for (auto _ : state) {
+    Packet p = pack_graph(protect[0]);
+    benchmark::DoNotOptimize(unpack_graph(m, 0, p));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackUnpackList)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

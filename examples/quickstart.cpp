@@ -1,0 +1,70 @@
+// Quickstart: define a tiny lazy functional program with the builder EDSL,
+// parallelise it with GpH strategies, and run it on a simulated multicore.
+//
+//   ./quickstart [cores]
+#include <cstdio>
+#include <cstdlib>
+
+#include "gph/prelude.hpp"
+#include "rts/marshal.hpp"
+#include "sim/sim_driver.hpp"
+#include "trace/trace.hpp"
+
+using namespace ph;
+
+int main(int argc, char** argv) {
+  const auto cores = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 4);
+
+  // 1. Build a program: the prelude plus our own definitions.
+  Program prog;
+  Builder b(prog);
+  build_prelude(b);
+
+  //    nfib — the classic parallel divide-and-conquer benchmark:
+  //      nfib n | n < 2     = 1
+  //             | otherwise = let a = nfib (n-1); b = nfib (n-2)
+  //                           in a `par` (b `seq` a + b + 1)
+  b.fun("nfib", {"n"}, [](Ctx& c) {
+    return c.iff(c.prim(PrimOp::Lt, c.var("n"), c.lit(2)), [&] { return c.lit(1); },
+                 [&] {
+                   return c.let1(
+                       "a", c.app("nfib", {c.prim(PrimOp::Sub, c.var("n"), c.lit(1))}), [&] {
+                         return c.let1(
+                             "b2", c.app("nfib", {c.prim(PrimOp::Sub, c.var("n"), c.lit(2))}),
+                             [&] {
+                               return c.par(c.var("a"),
+                                            c.seq(c.var("b2"),
+                                                  c.prim(PrimOp::Add,
+                                                         c.prim(PrimOp::Add, c.var("a"),
+                                                                c.var("b2")),
+                                                         c.lit(1))));
+                             });
+                       });
+                 });
+  });
+  prog.validate();
+
+  // 2. Create a machine: a shared heap with `cores` capabilities running
+  //    the paper's best GpH configuration (work stealing + eager BH).
+  Machine m(prog, config_worksteal_eagerbh(cores));
+
+  // 3. Spawn the main computation and drive it under virtual time.
+  Tso* main_tso = m.spawn_apply(prog.find("nfib"), {make_int(m, 0, 18)}, 0);
+  TraceLog trace(cores);
+  SimDriver driver(m, CostModel{}, &trace);
+  SimResult r = driver.run(main_tso);
+
+  // 4. Inspect results and runtime behaviour.
+  std::printf("nfib 18       = %lld\n", static_cast<long long>(read_int(r.value)));
+  std::printf("virtual time  = %llu cycles on %u cores\n",
+              static_cast<unsigned long long>(r.makespan), cores);
+  SparkStats s = m.total_spark_stats();
+  std::printf("sparks        = %llu created, %llu converted, %llu stolen, %llu fizzled\n",
+              static_cast<unsigned long long>(s.created),
+              static_cast<unsigned long long>(s.converted),
+              static_cast<unsigned long long>(s.stolen),
+              static_cast<unsigned long long>(s.fizzled));
+  std::printf("collections   = %llu\n\n%s",
+              static_cast<unsigned long long>(r.gc_count), trace.render_ascii(80).c_str());
+  return 0;
+}

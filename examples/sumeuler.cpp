@@ -1,0 +1,88 @@
+// sumEuler — the paper's §V map-reduce benchmark, runnable both ways:
+// GpH evaluation strategies on a shared heap and an Eden parMapReduce
+// process network, with EdenTV-style traces.
+//
+//   ./sumeuler [--n N] [--cores C] [--chunks K] [--eden 0|1] [--trace 0|1]
+//             [--rts "<GHC-style RTS flags, e.g. -N8 -A256k -qs -qe>"]
+#include <cstdio>
+
+#include "eden/eden.hpp"
+#include "rts/flags.hpp"
+#include "rts/report.hpp"
+#include "progs/all.hpp"
+#include "rts/marshal.hpp"
+#include "sim/sim_driver.hpp"
+#include "skel/skeletons.hpp"
+
+using namespace ph;
+
+namespace {
+std::int64_t arg(int argc, char** argv, const char* flag, std::int64_t dflt) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == flag) return std::atoll(argv[i + 1]);
+  return dflt;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t n = arg(argc, argv, "--n", 200);
+  const auto cores = static_cast<std::uint32_t>(arg(argc, argv, "--cores", 8));
+  const std::int64_t chunks = arg(argc, argv, "--chunks", 8 * cores);
+  const bool eden = arg(argc, argv, "--eden", 1) != 0;
+  const bool show_trace = arg(argc, argv, "--trace", 1) != 0;
+
+  Program prog = make_full_program();
+  const std::int64_t expect = sum_euler_reference(n);
+  std::printf("sumEuler [1..%lld], %u cores, %lld chunks (reference: %lld)\n\n",
+              static_cast<long long>(n), cores, static_cast<long long>(chunks),
+              static_cast<long long>(expect));
+
+  // Optional GHC-style RTS flag string overrides the GpH configuration.
+  RtsConfig gph_cfg = config_worksteal(cores);
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--rts") gph_cfg = parse_rts_flags(argv[i + 1], gph_cfg);
+  std::printf("GpH RTS flags: %s\n\n", show_rts_flags(gph_cfg).c_str());
+
+  {  // --- GpH: parList rwhnf over round-robin chunk sums ------------------
+    Machine m(prog, gph_cfg);
+    Tso* t = m.spawn_apply(prog.find("sumEulerParRR"),
+                           {make_int(m, 0, chunks), make_int(m, 0, n)}, 0);
+    TraceLog trace(cores);
+    SimDriver d(m, CostModel{}, &trace);
+    SimResult r = d.run(t);
+    std::printf("GpH  (work stealing): result %lld %s, %llu cycles, %llu GCs\n",
+                static_cast<long long>(read_int(r.value)),
+                read_int(r.value) == expect ? "OK" : "WRONG",
+                static_cast<unsigned long long>(r.makespan),
+                static_cast<unsigned long long>(r.gc_count));
+    if (show_trace) std::printf("%s\n", trace.render_ascii(80).c_str());
+    std::printf("%s\n", run_report(m, &r).c_str());
+  }
+
+  if (eden) {  // --- Eden: one parMapReduce process per PE ------------------
+    EdenConfig cfg;
+    cfg.n_pes = cores;
+    cfg.n_cores = cores;
+    cfg.pe_rts = config_worksteal_eagerbh(1);
+    EdenSystem sys(prog, cfg);
+    Machine& pe0 = sys.pe(0);
+    std::vector<std::vector<std::int64_t>> split(cores);
+    for (std::int64_t k = 1; k <= n; ++k)
+      split[static_cast<std::size_t>((k - 1) % cores)].push_back(k);
+    std::vector<Obj*> tasks;
+    for (const auto& xs : split) tasks.push_back(make_int_list(pe0, 0, xs));
+    Obj* partials = skel::par_map_reduce(sys, prog.find("sumPhi"), tasks);
+    Tso* root = skel::root_apply(sys, prog.find("sum"), {partials});
+    TraceLog trace(cores);
+    EdenSimDriver d(sys, &trace);
+    EdenSimResult r = d.run(root);
+    std::printf("Eden (%u PEs)       : result %lld %s, %llu cycles, %llu msgs, %llu GCs\n",
+                cores, static_cast<long long>(read_int(r.value)),
+                read_int(r.value) == expect ? "OK" : "WRONG",
+                static_cast<unsigned long long>(r.makespan),
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.gc_count));
+    if (show_trace) std::printf("%s", trace.render_ascii(80).c_str());
+  }
+  return 0;
+}

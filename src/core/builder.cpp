@@ -1,0 +1,160 @@
+#include "core/builder.hpp"
+
+#include <algorithm>
+
+namespace ph {
+
+std::int32_t Ctx::lookup(const std::string& name) const {
+  for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+    if (*it == name)
+      return static_cast<std::int32_t>(scope_.size()) - 1 -
+             static_cast<std::int32_t>(it - scope_.rbegin());
+  }
+  throw ProgramError("builder: unbound name '" + name + "'");
+}
+
+E Ctx::var(const std::string& name) {
+  Expr e;
+  e.tag = ExprTag::Var;
+  e.a = lookup(name);
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::lit(std::int64_t v) {
+  Expr e;
+  e.tag = ExprTag::Lit;
+  e.lit = v;
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::global(const std::string& name) {
+  Expr e;
+  e.tag = ExprTag::Global;
+  e.a = b_.p_.find(name);
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::app(E f, std::vector<E> args) {
+  if (args.empty()) return f;
+  Expr e;
+  e.tag = ExprTag::App;
+  e.kids.push_back(f.id);
+  for (E a : args) e.kids.push_back(a.id);
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::app(const std::string& gname, std::vector<E> args) {
+  return app(global(gname), std::move(args));
+}
+
+E Ctx::con(std::int32_t tag, std::vector<E> fields) {
+  Expr e;
+  e.tag = ExprTag::Con;
+  e.a = tag;
+  for (E f : fields) e.kids.push_back(f.id);
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::prim(PrimOp op, E x) {
+  Expr e;
+  e.tag = ExprTag::Prim;
+  e.a = static_cast<std::int32_t>(op);
+  e.kids = {x.id};
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::prim(PrimOp op, E x, E y) {
+  Expr e;
+  e.tag = ExprTag::Prim;
+  e.a = static_cast<std::int32_t>(op);
+  e.kids = {x.id, y.id};
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::par(E spark, E body) {
+  Expr e;
+  e.tag = ExprTag::Par;
+  e.kids = {spark.id, body.id};
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::seq(E force, E body) {
+  Expr e;
+  e.tag = ExprTag::Seq;
+  e.kids = {force.id, body.id};
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::let1(const std::string& name, E rhs, const std::function<E()>& body) {
+  scope_.push_back(name);
+  E bodyE = body();
+  scope_.pop_back();
+  Expr e;
+  e.tag = ExprTag::Let;
+  e.kids = {rhs.id, bodyE.id};
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::letrec(const std::vector<std::string>& names,
+              const std::function<std::vector<E>()>& rhss,
+              const std::function<E()>& body) {
+  for (const auto& n : names) scope_.push_back(n);
+  std::vector<E> rs = rhss();
+  if (rs.size() != names.size())
+    throw ProgramError("builder: letrec RHS count does not match binder count");
+  E bodyE = body();
+  scope_.resize(scope_.size() - names.size());
+  Expr e;
+  e.tag = ExprTag::Let;
+  for (E r : rs) e.kids.push_back(r.id);
+  e.kids.push_back(bodyE.id);
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::match(E scrut, std::vector<AltSpec> alts, const std::function<E()>& dflt,
+             const std::string& dflt_binder) {
+  Expr e;
+  e.tag = ExprTag::Case;
+  e.kids = {scrut.id};
+  for (auto& spec : alts) {
+    Alt alt;
+    alt.tag = spec.tag;
+    alt.arity = static_cast<std::int32_t>(spec.binders.size());
+    for (const auto& bnd : spec.binders) scope_.push_back(bnd);
+    alt.body = spec.body().id;
+    scope_.resize(scope_.size() - spec.binders.size());
+    e.alts.push_back(alt);
+  }
+  if (dflt) {
+    const bool binds = !dflt_binder.empty();
+    e.a = binds ? 1 : 0;
+    if (binds) scope_.push_back(dflt_binder);
+    e.dflt = dflt().id;
+    if (binds) scope_.pop_back();
+  }
+  return {b_.p_.add_expr(std::move(e))};
+}
+
+E Ctx::iff(E cond, const std::function<E()>& then_, const std::function<E()>& else_) {
+  return match(cond,
+               {AltSpec{/*tag=*/1, {}, then_}, AltSpec{/*tag=*/0, {}, else_}});
+}
+
+void Builder::define(GlobalId id, const std::vector<std::string>& params,
+                     const std::function<E(Ctx&)>& mk_body) {
+  const Global& g = p_.global(id);
+  if (static_cast<std::size_t>(g.arity) != params.size())
+    throw ProgramError("builder: parameter count mismatch for " + g.name);
+  Ctx c(*this, params);
+  E body = mk_body(c);
+  p_.define(id, body.id);
+}
+
+GlobalId Builder::fun(const std::string& name, const std::vector<std::string>& params,
+                      const std::function<E(Ctx&)>& mk_body) {
+  GlobalId id = p_.declare(name, static_cast<std::int32_t>(params.size()));
+  define(id, params, mk_body);
+  return id;
+}
+
+}  // namespace ph

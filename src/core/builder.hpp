@@ -1,0 +1,123 @@
+// Builder: an embedded DSL for constructing core-IR programs from C++.
+//
+// The IR uses de Bruijn levels; the builder lets callers use names instead
+// and performs the level bookkeeping. Supercombinators are built with a
+// per-function Ctx that tracks the current scope:
+//
+//   Builder b(prog);
+//   b.fun("double", {"x"}, [](Ctx& c) {
+//     return c.prim(PrimOp::Add, c.var("x"), c.var("x"));
+//   });
+//
+// Mutually recursive globals: declare first, then define.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace ph {
+
+/// Opaque handle to a built expression (valid only within one Ctx).
+struct E {
+  ExprId id = kNoExpr;
+};
+
+class Builder;
+
+/// Per-supercombinator build context. Not copyable; passed by reference to
+/// the body-building callback.
+class Ctx {
+ public:
+  // Atoms -----------------------------------------------------------------
+  E var(const std::string& name);
+  E lit(std::int64_t v);
+  /// Reference to a supercombinator as a value (usable as function arg).
+  E global(const std::string& name);
+
+  // Compound forms ----------------------------------------------------------
+  E app(E f, std::vector<E> args);
+  /// Convenience: apply a named global.
+  E app(const std::string& gname, std::vector<E> args);
+  E con(std::int32_t tag, std::vector<E> fields = {});
+  E prim(PrimOp op, E x);
+  E prim(PrimOp op, E x, E y);
+  E par(E spark, E body);
+  E seq(E force, E body);
+
+  /// Non-recursive single let; the right-hand side is built in the
+  /// *current* scope, then `name` is in scope for the body.
+  E let1(const std::string& name, E rhs, const std::function<E()>& body);
+  /// Recursive lets: all names are in scope while building every RHS and
+  /// the body (the callbacks run with the extended scope).
+  E letrec(const std::vector<std::string>& names,
+           const std::function<std::vector<E>()>& rhss,
+           const std::function<E()>& body);
+
+  struct AltSpec {
+    std::int64_t tag = 0;
+    std::vector<std::string> binders;  // constructor field names
+    std::function<E()> body;
+  };
+  /// Case on constructor tags (or literals, with empty binder lists). The
+  /// optional default may bind the scrutinee's WHNF under `dflt_binder`.
+  E match(E scrut, std::vector<AltSpec> alts,
+          const std::function<E()>& dflt = nullptr,
+          const std::string& dflt_binder = "");
+
+  /// Sugar: Bool case (False = Con 0, True = Con 1).
+  E iff(E cond, const std::function<E()>& then_, const std::function<E()>& else_);
+
+  /// Sugar: force `rhs` to WHNF and bind the result — a Case with only a
+  /// binding default (Haskell's `case rhs of !name -> body`). The idiom
+  /// behind all strict accumulators in the prelude.
+  E strict(const std::string& name, E rhs, const std::function<E()>& body) {
+    return match(rhs, {}, body, name);
+  }
+
+  // Common data sugar -------------------------------------------------------
+  E nil() { return con(0); }
+  E cons(E h, E t) { return con(1, {h, t}); }
+  E pair(E a, E b2) { return con(0, {a, b2}); }
+  E false_() { return con(0); }
+  E true_() { return con(1); }
+
+ private:
+  friend class Builder;
+  Ctx(Builder& b, std::vector<std::string> scope) : b_(b), scope_(std::move(scope)) {}
+  std::int32_t lookup(const std::string& name) const;
+
+  Builder& b_;
+  std::vector<std::string> scope_;  // index = de Bruijn level
+};
+
+class Builder {
+ public:
+  explicit Builder(Program& p) : p_(p) {}
+
+  GlobalId declare(const std::string& name, std::int32_t arity) {
+    return p_.declare(name, arity);
+  }
+  /// Defines a previously declared supercombinator.
+  void define(GlobalId id, const std::vector<std::string>& params,
+              const std::function<E(Ctx&)>& mk_body);
+  /// Declares and defines in one step; returns the new GlobalId.
+  GlobalId fun(const std::string& name, const std::vector<std::string>& params,
+               const std::function<E(Ctx&)>& mk_body);
+  /// A 0-arity supercombinator (a CAF in GHC terms).
+  GlobalId caf(const std::string& name, const std::function<E(Ctx&)>& mk_body) {
+    return fun(name, {}, mk_body);
+  }
+
+  Program& program() { return p_; }
+
+ private:
+  friend class Ctx;
+  Program& p_;
+};
+
+}  // namespace ph

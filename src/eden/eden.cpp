@@ -1,0 +1,448 @@
+#include "eden/eden.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ph {
+
+// ===========================================================================
+// EdenSystem
+// ===========================================================================
+
+EdenSystem::EdenSystem(const Program& prog, EdenConfig cfg)
+    : prog_(prog), cfg_(std::move(cfg)) {
+  if (cfg_.n_pes == 0 || cfg_.n_cores == 0)
+    throw ProgramError("Eden system needs at least one PE and one core");
+  cfg_.pe_rts.n_caps = 1;  // one capability per PE: a sequential GHC runtime
+  pes_.reserve(cfg_.n_pes);
+  pe_now_.assign(cfg_.n_pes, 0);
+  inboxes_.resize(cfg_.n_pes);
+  for (std::uint32_t i = 0; i < cfg_.n_pes; ++i) {
+    auto m = std::make_unique<Machine>(prog_, cfg_.pe_rts);
+    m->pe_id = i;
+    m->user_data = this;
+    // Root the channel placeholders living in this PE's heap.
+    m->add_root_walker([this, i](Gc& gc) {
+      for (ChannelState& ch : channels_)
+        if (ch.pe == i && ch.placeholder != nullptr) gc.evacuate(ch.placeholder);
+    });
+    pes_.push_back(std::move(m));
+  }
+}
+
+EdenSystem::~EdenSystem() = default;
+
+EdenSystem::Channel EdenSystem::new_channel(std::uint32_t pe) {
+  Channel ch;
+  ch.id = channels_.size();
+  ch.pe = pe;
+  ChannelState st;
+  st.pe = pe;
+  st.placeholder = pes_.at(pe)->new_placeholder(0, ch.id);
+  channels_.push_back(st);
+  return ch;
+}
+
+Obj* EdenSystem::placeholder_of(Channel ch) const {
+  return channels_.at(ch.id).placeholder;
+}
+
+void EdenSystem::enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind,
+                         Packet p) {
+  ChannelState& ch = channels_.at(channel);
+  Msg m;
+  m.channel = channel;
+  m.kind = kind;
+  m.seq = msg_seq_++;
+  m.deliver_at = pe_now_.at(src_pe) + cfg_.cost.msg_latency +
+                 (p.size_words() / 8) * cfg_.cost.msg_per_8words;
+  // The middleware is FIFO per channel (PVM/TCP): a small message sent
+  // later must not overtake a large one sent earlier.
+  m.deliver_at = std::max(m.deliver_at, ch.last_deliver_at);
+  ch.last_deliver_at = m.deliver_at;
+  messages_sent_++;
+  words_sent_ += p.size_words();
+  m.packet = std::move(p);
+  inboxes_.at(ch.pe).push(std::move(m));
+}
+
+void EdenSystem::send_value(std::uint32_t src_pe, std::uint64_t channel, Obj* nf_root) {
+  enqueue(src_pe, channel, MsgKind::Value, pack_graph(nf_root));
+}
+void EdenSystem::send_stream_elem(std::uint32_t src_pe, std::uint64_t channel,
+                                  Obj* nf_elem) {
+  enqueue(src_pe, channel, MsgKind::StreamElem, pack_graph(nf_elem));
+}
+void EdenSystem::send_stream_close(std::uint32_t src_pe, std::uint64_t channel) {
+  enqueue(src_pe, channel, MsgKind::StreamClose, Packet{});
+}
+
+void EdenSystem::deliver(const Msg& m) {
+  ChannelState& ch = channels_.at(m.channel);
+  Machine& dm = *pes_.at(ch.pe);
+  Capability& cap0 = dm.cap(0);
+  if (ch.placeholder == nullptr)
+    throw EvalError("message (kind " + std::to_string(static_cast<int>(m.kind)) +
+                    ") arrived on closed channel " + std::to_string(m.channel));
+  switch (m.kind) {
+    case MsgKind::Value: {
+      Obj* v = unpack_graph(dm, 0, m.packet);
+      dm.fill_placeholder(cap0, ch.placeholder, v);
+      ch.placeholder = nullptr;
+      break;
+    }
+    case MsgKind::StreamElem: {
+      // The list placeholder becomes Cons(elem, fresh placeholder).
+      std::vector<Obj*> protect{unpack_graph(dm, 0, m.packet)};
+      RootGuard guard(dm, protect);
+      Obj* ph2 = dm.new_placeholder(0, m.channel);
+      protect.push_back(ph2);
+      Obj* cell = dm.alloc_with_gc(0, ObjKind::Con, 1, 2);
+      cell->ptr_payload()[0] = protect[0];
+      cell->ptr_payload()[1] = protect[1];
+      dm.fill_placeholder(cap0, ch.placeholder, cell);
+      ch.placeholder = protect[1];
+      break;
+    }
+    case MsgKind::StreamClose:
+      dm.fill_placeholder(cap0, ch.placeholder, dm.static_con(0));  // Nil
+      ch.placeholder = nullptr;
+      break;
+  }
+}
+
+// --- native sender frames -----------------------------------------------------
+
+namespace {
+inline EdenSystem* sys_of(Machine& m) {
+  auto* s = static_cast<EdenSystem*>(m.user_data);
+  if (s == nullptr) throw EvalError("Eden frame run outside an Eden system");
+  return s;
+}
+}  // namespace
+
+NativeAction EdenSystem::nf_send_value(Machine& m, Capability&, Tso& t, std::size_t fi,
+                                       Obj* v) {
+  sys_of(m)->send_value(m.pe_id, t.stack[fi].aux, v);
+  return NativeAction::Done;
+}
+
+NativeAction EdenSystem::nf_stream_step(Machine& m, Capability&, Tso& t, std::size_t fi,
+                                        Obj* v) {
+  EdenSystem* sys = sys_of(m);
+  if (v->kind != ObjKind::Con) throw EvalError("stream sender over a non-list");
+  Frame& f = t.stack[fi];
+  if (v->tag == 0) {  // Nil: end of stream
+    sys->send_stream_close(m.pe_id, f.aux);
+    return NativeAction::Done;
+  }
+  if (v->tag != 1 || v->size != 2) throw EvalError("stream sender over a non-list");
+  // Deep-force the head, then (in nf_stream_after_head) send it and
+  // continue with the tail.
+  Obj* head = v->ptr_payload()[0];
+  Obj* tail = v->ptr_payload()[1];
+  f.native = &EdenSystem::nf_stream_after_head;
+  f.ptrs.assign(1, tail);
+  Frame force;
+  force.kind = FrameKind::ForceDeep;
+  force.obj = nullptr;
+  t.stack.push_back(std::move(force));  // invalidates f
+  t.code.mode = CodeMode::Enter;
+  t.code.ptr = head;
+  t.code.env.clear();
+  return NativeAction::Retry;
+}
+
+NativeAction EdenSystem::nf_stream_after_head(Machine& m, Capability&, Tso& t,
+                                              std::size_t fi, Obj* v) {
+  EdenSystem* sys = sys_of(m);
+  Frame& f = t.stack[fi];
+  sys->send_stream_elem(m.pe_id, f.aux, v);
+  Obj* tail = f.ptrs[0];
+  f.ptrs.clear();
+  f.native = &EdenSystem::nf_stream_step;
+  t.code.mode = CodeMode::Enter;
+  t.code.ptr = tail;
+  t.code.env.clear();
+  return NativeAction::Retry;
+}
+
+NativeAction EdenSystem::nf_tuple_split(Machine& m, Capability&, Tso& t, std::size_t fi,
+                                        Obj* v) {
+  EdenSystem* sys = sys_of(m);
+  Frame& f = t.stack[fi];
+  const auto& spec = sys->tuple_specs_.at(f.aux);
+  if (v->kind != ObjKind::Con || v->size != spec.size())
+    throw EvalError("tuple process result does not match its output channels");
+  // One independent communication thread per tuple component (§II.A.1).
+  const std::uint64_t now = sys->now_of(m.pe_id);
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i].second)
+      sys->spawn_sender_stream(m.pe_id, v->ptr_payload()[i], spec[i].first, now);
+    else
+      sys->spawn_sender_value(m.pe_id, v->ptr_payload()[i], spec[i].first, now);
+  }
+  return NativeAction::Done;
+}
+
+// --- process / sender spawning ---------------------------------------------------
+
+Tso* EdenSystem::spawn_with_sender_frames(std::uint32_t pe, GlobalId f,
+                                          const std::vector<Obj*>& args, Obj* root,
+                                          Channel out, bool stream,
+                                          std::uint64_t start_delay) {
+  Machine& m = *pes_.at(pe);
+  Tso* t = (root != nullptr) ? m.spawn_enter(root, 0)
+                             : m.spawn_apply(f, args, 0);
+  // Insert the communication frames *below* the evaluation frames.
+  std::vector<Frame> bottom;
+  Frame send;
+  send.kind = FrameKind::Native;
+  send.aux = out.id;
+  if (stream) {
+    send.native = &EdenSystem::nf_stream_step;
+    bottom.push_back(std::move(send));
+  } else {
+    send.native = &EdenSystem::nf_send_value;
+    bottom.push_back(std::move(send));
+    Frame force;
+    force.kind = FrameKind::ForceDeep;
+    force.obj = nullptr;
+    bottom.push_back(std::move(force));
+  }
+  t->stack.insert(t->stack.begin(), std::make_move_iterator(bottom.begin()),
+                  std::make_move_iterator(bottom.end()));
+  t->start_time = start_delay;
+  return t;
+}
+
+Tso* EdenSystem::spawn_process_value(std::uint32_t pe, GlobalId f,
+                                     const std::vector<Obj*>& args, Channel out,
+                                     std::uint64_t start_delay) {
+  return spawn_with_sender_frames(pe, f, args, nullptr, out, /*stream=*/false, start_delay);
+}
+
+Tso* EdenSystem::spawn_process_stream(std::uint32_t pe, GlobalId f,
+                                      const std::vector<Obj*>& args, Channel out,
+                                      std::uint64_t start_delay) {
+  return spawn_with_sender_frames(pe, f, args, nullptr, out, /*stream=*/true, start_delay);
+}
+
+Tso* EdenSystem::spawn_sender_value(std::uint32_t pe, Obj* root, Channel out,
+                                    std::uint64_t start_delay) {
+  return spawn_with_sender_frames(pe, 0, {}, root, out, /*stream=*/false, start_delay);
+}
+
+Tso* EdenSystem::spawn_sender_stream(std::uint32_t pe, Obj* root, Channel out,
+                                     std::uint64_t start_delay) {
+  return spawn_with_sender_frames(pe, 0, {}, root, out, /*stream=*/true, start_delay);
+}
+
+Tso* EdenSystem::spawn_process_tuple(std::uint32_t pe, GlobalId f,
+                                     const std::vector<Obj*>& args,
+                                     std::vector<TupleOut> outs,
+                                     std::uint64_t start_delay) {
+  Machine& m = *pes_.at(pe);
+  Tso* t = m.spawn_apply(f, args, 0);
+  Frame split;
+  split.kind = FrameKind::Native;
+  split.native = &EdenSystem::nf_tuple_split;
+  split.aux = tuple_specs_.size();
+  tuple_specs_.push_back(std::move(outs));
+  t->stack.insert(t->stack.begin(), std::move(split));
+  t->start_time = start_delay;
+  return t;
+}
+
+Tso* EdenSystem::spawn_process_pair(std::uint32_t pe, GlobalId f,
+                                    const std::vector<Obj*>& args, Channel out1,
+                                    bool stream1, Channel out2, bool stream2,
+                                    std::uint64_t start_delay) {
+  return spawn_process_tuple(pe, f, args, {{out1, stream1}, {out2, stream2}}, start_delay);
+}
+
+// ===========================================================================
+// EdenSimDriver
+// ===========================================================================
+
+EdenSimDriver::EdenSimDriver(EdenSystem& sys, TraceLog* trace)
+    : sys_(sys), cost_(sys.cost()), trace_(trace),
+      core_time_(sys.n_cores(), 0), core_rr_(sys.n_cores(), 0), pes_(sys.n_pes()) {}
+
+void EdenSimDriver::charge(std::uint32_t pi, std::uint64_t cost, CapState state) {
+  const std::uint32_t c = core_of(pi);
+  if (trace_ != nullptr) trace_->record(pi, core_time_[c], core_time_[c] + cost, state);
+  core_time_[c] += cost;
+}
+
+void EdenSimDriver::collect_pe(std::uint32_t pi) {
+  Machine& m = sys_.pe(pi);
+  const std::uint64_t copied = m.collect();
+  const std::uint64_t pause = cost_.gc_fixed + copied * cost_.gc_per_word;
+  charge(pi, pause, CapState::Gc);
+  result_.gc_count++;
+  result_.gc_pause_total += pause;
+}
+
+void EdenSimDriver::deliver_ready(std::uint32_t pi) {
+  auto& inbox = sys_.inboxes_.at(pi);
+  const std::uint64_t now = core_time_[core_of(pi)];
+  while (!inbox.empty() && inbox.top().deliver_at <= now) {
+    sys_.deliver(inbox.top());
+    inbox.pop();
+  }
+}
+
+EdenSimResult EdenSimDriver::run(Tso* root) {
+  std::uint64_t idle_streak = 0;
+  while (!done_ && !deadlocked_) {
+    // Core with the smallest clock runs next.
+    std::uint32_t core = 0;
+    for (std::uint32_t c = 1; c < sys_.n_cores(); ++c)
+      if (core_time_[c] < core_time_[core]) core = c;
+
+    // Round-robin over this core's PEs until one makes progress.
+    std::vector<std::uint32_t> mine;
+    for (std::uint32_t pi = core; pi < sys_.n_pes(); pi += sys_.n_cores()) mine.push_back(pi);
+    bool progressed = false;
+    for (std::size_t k = 0; k < mine.size() && !progressed && !done_; ++k) {
+      const std::uint32_t pi = mine[(core_rr_[core] + k) % mine.size()];
+      sys_.pe_now_[pi] = core_time_[core];
+      deliver_ready(pi);
+      if (pe_slice(pi, root)) {
+        core_rr_[core] = (core_rr_[core] + static_cast<std::uint32_t>(k) + 1) %
+                         static_cast<std::uint32_t>(mine.size());
+        progressed = true;
+      }
+    }
+    if (done_) break;
+    if (progressed) {
+      idle_streak = 0;
+      continue;
+    }
+
+    // Core idle: advance time (to the next message if one is in flight).
+    std::uint64_t next_event = core_time_[core] + cost_.idle_poll;
+    std::uint64_t min_msg = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& inbox : sys_.inboxes_)
+      if (!inbox.empty()) min_msg = std::min(min_msg, inbox.top().deliver_at);
+    const bool msgs_pending = min_msg != std::numeric_limits<std::uint64_t>::max();
+    if (msgs_pending) next_event = std::max(next_event, min_msg);
+
+    bool blocked_threads = false;
+    for (std::uint32_t pi : mine)
+      if (sys_.pe(pi).cap(0).n_blocked.load(std::memory_order_relaxed) > 0)
+        blocked_threads = true;
+    if (trace_ != nullptr)
+      for (std::uint32_t pi : mine)
+        trace_->record(pi, core_time_[core], next_event,
+                       blocked_threads ? CapState::Blocked : CapState::Idle);
+    core_time_[core] = next_event;
+
+    idle_streak++;
+    if (idle_streak > 4ull * (sys_.n_pes() + sys_.n_cores()) && !msgs_pending) {
+      bool any = false;
+      for (std::uint32_t pi = 0; pi < sys_.n_pes(); ++pi)
+        if (pes_[pi].active != nullptr || sys_.pe(pi).work_anywhere()) any = true;
+      if (!any) deadlocked_ = true;
+    }
+  }
+
+  result_.makespan = 0;
+  for (std::uint64_t t : core_time_) result_.makespan = std::max(result_.makespan, t);
+  result_.value = root->result;
+  result_.deadlocked = deadlocked_;
+  result_.messages = sys_.messages_sent();
+  return result_;
+}
+
+bool EdenSimDriver::pe_slice(std::uint32_t pi, Tso* root) {
+  Machine& m = sys_.pe(pi);
+  Capability& c = m.cap(0);
+  PeState& ps = pes_[pi];
+  const RtsConfig& cfg = m.config();
+  const std::uint32_t core = core_of(pi);
+
+  if (m.heap().gc_requested()) collect_pe(pi);
+
+  if (ps.active == nullptr) {
+    Tso* t = m.schedule_next(c);
+    if (t != nullptr && t->start_time > core_time_[core]) {
+      // Not yet instantiated (process-creation latency): requeue.
+      c.push_thread(t);
+      return false;
+    }
+    if (t == nullptr) return false;
+    ps.active = t;
+    t->state = ThreadState::Running;
+    charge(pi, cost_.context_switch + (t->steps == 0 ? cost_.thread_create : 0),
+           CapState::Sync);
+    return true;
+  }
+
+  Tso* t = ps.active;
+  const std::uint64_t start = core_time_[core];
+  std::uint64_t elapsed = 0;
+  auto end_run_segment = [&]() {
+    if (trace_ != nullptr) trace_->record(pi, start, start + elapsed, CapState::Run);
+    core_time_[core] = start + elapsed;
+  };
+
+  const std::uint32_t budget =
+      std::min<std::uint32_t>(cost_.sim_slice_steps, cfg.quantum_steps - ps.quantum_used);
+  for (std::uint32_t steps = 0; steps < budget; ++steps) {
+    ps.quantum_used++;
+    const std::uint64_t debt_before = c.alloc_debt;
+    const StepOutcome out = m.step(c, *t);
+    elapsed += cost_.step;
+    if (c.alloc_debt > debt_before)
+      elapsed += ((c.alloc_debt - debt_before) * cost_.alloc_per_4words) / 4;
+    if (c.alloc_debt >= cfg.alloc_check_words) c.alloc_debt = 0;
+
+    switch (out) {
+      case StepOutcome::Ok:
+        continue;
+      case StepOutcome::NeedGc:
+        // Distributed heap: collect immediately and locally — no barrier,
+        // no other PE is disturbed (§VI.A).
+        end_run_segment();
+        collect_pe(pi);
+        return true;
+      case StepOutcome::Blocked:
+        m.blackhole_pending_updates(c, *t);
+        ps.active = nullptr;
+        ps.quantum_used = 0;
+        end_run_segment();
+        charge(pi, cost_.context_switch, CapState::Sync);
+        return true;
+      case StepOutcome::Finished:
+        if (t == root) {
+          end_run_segment();
+          done_ = true;
+          return true;
+        }
+        if (t->is_spark_thread && m.spark_thread_continue(c, *t)) {
+          elapsed += cost_.context_switch;
+          continue;
+        }
+        ps.active = nullptr;
+        ps.quantum_used = 0;
+        end_run_segment();
+        charge(pi, cost_.context_switch, CapState::Sync);
+        return true;
+    }
+  }
+
+  end_run_segment();
+  if (ps.quantum_used < cfg.quantum_steps) return true;
+  m.blackhole_pending_updates(c, *t);
+  t->state = ThreadState::Runnable;
+  c.push_thread(t);
+  ps.active = nullptr;
+  ps.quantum_used = 0;
+  charge(pi, cost_.context_switch, CapState::Sync);
+  return true;
+}
+
+}  // namespace ph

@@ -1,0 +1,198 @@
+// EdenSystem: the distributed-heap parallel runtime (paper §III.B).
+//
+// An Eden system is N independent Machines ("PEs" — one GHC runtime per
+// processing element, each with its own heap and its own garbage
+// collector), linked by a message-passing layer that plays the role of
+// PVM/MPI-on-shared-memory middleware. There is no shared heap: values
+// cross PE boundaries only by being reduced to normal form, packed
+// (src/eden/pack) and shipped; the receiver synchronises through
+// *placeholders* in its heap that arriving messages overwrite.
+//
+// Communication follows Eden's Trans semantics:
+//   * plain values are sent in a single message after deep forcing;
+//   * top-level lists are *streamed* element by element;
+//   * tuple components are evaluated and sent by independent threads.
+//
+// Process instantiation, channel plumbing and the sender threads are
+// implemented here on top of the Machine's native frames, mirroring how
+// real Eden builds its coordination constructs on runtime primitives
+// ("best seen as a systems programming task", §II.A.1).
+//
+// The system is driven by EdenSimDriver under the same virtual-time cost
+// model as the shared-heap simulation; PEs may outnumber cores (the
+// paper's 9- and 17-PE matmul runs on 8 cores), in which case a core
+// time-slices its PEs like PVM virtual machines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "eden/pack.hpp"
+#include "rts/config.hpp"
+#include "rts/machine.hpp"
+#include "trace/trace.hpp"
+
+namespace ph {
+
+struct EdenConfig {
+  std::uint32_t n_pes = 2;
+  std::uint32_t n_cores = 2;  // physical cores the PEs are multiplexed onto
+  RtsConfig pe_rts;           // per-PE runtime config (n_caps forced to 1)
+  CostModel cost;
+};
+
+class EdenSystem {
+ public:
+  EdenSystem(const Program& prog, EdenConfig cfg);
+  ~EdenSystem();
+
+  std::uint32_t n_pes() const { return static_cast<std::uint32_t>(pes_.size()); }
+  std::uint32_t n_cores() const { return cfg_.n_cores; }
+  Machine& pe(std::uint32_t i) { return *pes_.at(i); }
+  const EdenConfig& config() const { return cfg_; }
+  const CostModel& cost() const { return cfg_.cost; }
+
+  // --- channels -------------------------------------------------------------
+  /// A one-to-one channel delivering into `pe`'s heap.
+  struct Channel {
+    std::uint64_t id = ~0ull;
+    std::uint32_t pe = 0;
+  };
+  Channel new_channel(std::uint32_t pe);
+  /// The placeholder a consumer on the channel's PE should reference.
+  /// (For stream channels this is the placeholder for the whole list.)
+  Obj* placeholder_of(Channel ch) const;
+
+  // --- sends (called from native sender frames, or host setup) ----------------
+  void send_value(std::uint32_t src_pe, std::uint64_t channel, Obj* nf_root);
+  void send_stream_elem(std::uint32_t src_pe, std::uint64_t channel, Obj* nf_elem);
+  void send_stream_close(std::uint32_t src_pe, std::uint64_t channel);
+
+  // --- processes & communication threads (topology setup) ----------------------
+  /// Thread on `pe` evaluating `f args...` and sending the deeply forced
+  /// result as a single value to `out`. `start_delay` models process-
+  /// instantiation latency (charged from virtual time 0).
+  Tso* spawn_process_value(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
+                           Channel out, std::uint64_t start_delay);
+  /// Same, but the result (a list) is streamed element by element.
+  Tso* spawn_process_stream(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
+                            Channel out, std::uint64_t start_delay);
+  /// Result is a tuple (constructor with outs.size() fields); component i
+  /// goes to outs[i].first, streamed when outs[i].second is true — each by
+  /// its own sender thread (Eden's tuple semantics).
+  using TupleOut = std::pair<Channel, bool>;
+  Tso* spawn_process_tuple(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
+                           std::vector<TupleOut> outs, std::uint64_t start_delay);
+  /// Convenience for the common 2-tuple case.
+  Tso* spawn_process_pair(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
+                          Channel out1, bool stream1, Channel out2, bool stream2,
+                          std::uint64_t start_delay);
+  /// Sender thread on `pe` forcing `root` (already in pe's heap) to NF and
+  /// sending it to `out` — how a parent ships inputs to its children.
+  Tso* spawn_sender_value(std::uint32_t pe, Obj* root, Channel out,
+                          std::uint64_t start_delay);
+  Tso* spawn_sender_stream(std::uint32_t pe, Obj* root, Channel out,
+                           std::uint64_t start_delay);
+
+  // --- statistics ---------------------------------------------------------------
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t words_sent() const { return words_sent_; }
+
+ private:
+  friend class EdenSimDriver;
+
+  enum class MsgKind : std::uint8_t { Value, StreamElem, StreamClose };
+  struct Msg {
+    std::uint64_t deliver_at = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break (per-channel ordering)
+    std::uint64_t channel = 0;
+    MsgKind kind = MsgKind::Value;
+    Packet packet;
+    bool operator>(const Msg& o) const {
+      return deliver_at != o.deliver_at ? deliver_at > o.deliver_at : seq > o.seq;
+    }
+  };
+
+  struct ChannelState {
+    std::uint32_t pe = 0;
+    Obj* placeholder = nullptr;  // nullptr once closed/filled
+    std::uint64_t last_deliver_at = 0;  // FIFO: later sends never overtake
+  };
+
+  void enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind, Packet p);
+  void deliver(const Msg& m);
+  /// Virtual "now" of the core hosting `pe` (maintained by the driver).
+  std::uint64_t now_of(std::uint32_t pe) const { return pe_now_.at(pe); }
+
+  Tso* spawn_with_sender_frames(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
+                                Obj* root, Channel out, bool stream,
+                                std::uint64_t start_delay);
+
+  // Native frame handlers.
+  static NativeAction nf_send_value(Machine&, Capability&, Tso&, std::size_t, Obj*);
+  static NativeAction nf_stream_step(Machine&, Capability&, Tso&, std::size_t, Obj*);
+  static NativeAction nf_stream_after_head(Machine&, Capability&, Tso&, std::size_t, Obj*);
+  static NativeAction nf_tuple_split(Machine&, Capability&, Tso&, std::size_t, Obj*);
+
+  const Program& prog_;
+  EdenConfig cfg_;
+  std::vector<std::unique_ptr<Machine>> pes_;
+  std::vector<ChannelState> channels_;
+  std::vector<std::vector<TupleOut>> tuple_specs_;  // frame.aux indexes here
+  /// Per-destination-PE message queues, ordered by delivery time.
+  std::vector<std::priority_queue<Msg, std::vector<Msg>, std::greater<Msg>>> inboxes_;
+  std::vector<std::uint64_t> pe_now_;
+  std::uint64_t msg_seq_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t words_sent_ = 0;
+};
+
+struct EdenSimResult {
+  std::uint64_t makespan = 0;
+  Obj* value = nullptr;
+  bool deadlocked = false;
+  std::uint64_t gc_count = 0;        // summed over PEs (all independent!)
+  std::uint64_t gc_pause_total = 0;  // summed pause time (never a barrier)
+  std::uint64_t messages = 0;
+};
+
+/// Deterministic virtual-time driver for an Eden system. Cores advance
+/// under one global virtual clock; each core round-robins the PEs mapped
+/// to it (PE k lives on core k mod n_cores). Every PE collects its own
+/// heap independently, with no cross-PE synchronisation — the structural
+/// advantage the paper's §VI.A attributes to the distributed-heap model.
+class EdenSimDriver {
+ public:
+  explicit EdenSimDriver(EdenSystem& sys, TraceLog* trace = nullptr);
+
+  /// Runs until `root` (a TSO on some PE, usually 0) finishes.
+  EdenSimResult run(Tso* root);
+
+ private:
+  struct PeState {
+    Tso* active = nullptr;
+    std::uint32_t quantum_used = 0;
+  };
+
+  /// Runs one slice of PE `pi` on its core; returns true if it made
+  /// progress (false = the PE is idle).
+  bool pe_slice(std::uint32_t pi, Tso* root);
+  void deliver_ready(std::uint32_t pi);
+  void collect_pe(std::uint32_t pi);
+  std::uint32_t core_of(std::uint32_t pi) const { return pi % sys_.n_cores(); }
+  void charge(std::uint32_t pi, std::uint64_t cost, CapState state);
+
+  EdenSystem& sys_;
+  CostModel cost_;
+  TraceLog* trace_;
+  std::vector<std::uint64_t> core_time_;
+  std::vector<std::uint32_t> core_rr_;  // next PE offset per core
+  std::vector<PeState> pes_;
+  bool done_ = false;
+  bool deadlocked_ = false;
+  EdenSimResult result_;
+};
+
+}  // namespace ph

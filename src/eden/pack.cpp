@@ -1,0 +1,164 @@
+#include "eden/pack.hpp"
+
+#include <unordered_map>
+
+namespace ph {
+namespace {
+
+enum PackTag : std::uint8_t { PInt = 1, PCon = 2, PThunk = 3, PPap = 4 };
+
+Word header(PackTag tag, std::uint16_t contag, std::uint32_t count) {
+  return static_cast<Word>(tag) | (static_cast<Word>(contag) << 8) |
+         (static_cast<Word>(count) << 32);
+}
+PackTag hdr_tag(Word w) { return static_cast<PackTag>(w & 0xff); }
+std::uint16_t hdr_contag(Word w) { return static_cast<std::uint16_t>((w >> 8) & 0xffff); }
+std::uint32_t hdr_count(Word w) { return static_cast<std::uint32_t>(w >> 32); }
+
+}  // namespace
+
+Packet pack_graph(Obj* root) {
+  Packet p;
+  std::unordered_map<const Obj*, std::uint32_t> index;
+  std::vector<Obj*> order;
+
+  auto visit = [&](Obj* o) -> std::uint32_t {
+    o = follow(o);
+    auto it = index.find(o);
+    if (it != index.end()) return it->second;
+    const auto idx = static_cast<std::uint32_t>(order.size());
+    index.emplace(o, idx);
+    order.push_back(o);
+    return idx;
+  };
+
+  visit(root);
+  // `order` grows as children are discovered; records are emitted in index
+  // order, so child slots can reference nodes not yet emitted (cycles OK).
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Obj* o = order[i];
+    switch (o->kind) {
+      case ObjKind::Int:
+        p.words.push_back(header(PInt, 0, 0));
+        p.words.push_back(o->payload()[0]);
+        break;
+      case ObjKind::Con: {
+        p.words.push_back(header(PCon, o->tag, o->size));
+        for (std::uint32_t k = 0; k < o->size; ++k)
+          p.words.push_back(visit(o->ptr_payload()[k]));
+        break;
+      }
+      case ObjKind::Thunk: {
+        const std::uint32_t envn = o->thunk_env_len();
+        p.words.push_back(header(PThunk, 0, envn));
+        p.words.push_back(o->payload()[0]);  // ExprId: code is global
+        for (std::uint32_t k = 0; k < envn; ++k)
+          p.words.push_back(visit(o->ptr_payload()[1 + k]));
+        break;
+      }
+      case ObjKind::Pap: {
+        const std::uint32_t nargs = o->pap_nargs();
+        p.words.push_back(header(PPap, 0, nargs));
+        p.words.push_back(o->payload()[0]);  // GlobalId
+        for (std::uint32_t k = 0; k < nargs; ++k)
+          p.words.push_back(visit(o->ptr_payload()[1 + k]));
+        break;
+      }
+      case ObjKind::BlackHole:
+        throw PackError("cannot pack an object under evaluation (black hole)");
+      case ObjKind::Placeholder:
+        throw PackError("cannot pack a placeholder (unarrived channel data)");
+      case ObjKind::Ind:
+      case ObjKind::Fwd:
+        throw PackError("internal: indirection/forwarding reached the packer");
+    }
+  }
+  return p;
+}
+
+Obj* unpack_graph(Machine& m, std::uint32_t cap, const Packet& p) {
+  // Pass 1: decode headers, allocate every node (statics are reused for
+  // small ints and nullary constructors, like local allocation would).
+  std::vector<Obj*> nodes;
+  RootGuard guard(m, nodes);
+  struct Rec {
+    PackTag tag;
+    std::size_t body;  // offset of the first body word
+    std::uint32_t count;
+  };
+  std::vector<Rec> recs;
+  std::size_t i = 0;
+  while (i < p.words.size()) {
+    const Word h = p.words[i++];
+    const PackTag tag = hdr_tag(h);
+    const std::uint32_t count = hdr_count(h);
+    Obj* o = nullptr;
+    switch (tag) {
+      case PInt: {
+        const auto v = static_cast<std::int64_t>(p.words[i]);
+        o = m.small_int(v);
+        if (o == nullptr) {
+          o = m.alloc_with_gc(cap, ObjKind::Int, 0, 1);
+          o->payload()[0] = static_cast<Word>(v);
+        }
+        recs.push_back(Rec{tag, i, 0});
+        i += 1;
+        break;
+      }
+      case PCon: {
+        const std::uint16_t contag = hdr_contag(h);
+        if (count == 0) o = m.static_con(contag);
+        if (o == nullptr) {
+          o = m.alloc_with_gc(cap, ObjKind::Con, contag, count);
+          // A later alloc_with_gc in this loop may collect: keep the
+          // not-yet-linked pointer fields scannable.
+          for (std::uint32_t k = 0; k < count; ++k) o->ptr_payload()[k] = m.static_con(0);
+        }
+        recs.push_back(Rec{tag, i, count});
+        i += count;
+        break;
+      }
+      case PThunk: {
+        o = m.alloc_with_gc(cap, ObjKind::Thunk, 0, 1 + count);
+        o->payload()[0] = p.words[i];
+        for (std::uint32_t k = 0; k < count; ++k) o->ptr_payload()[1 + k] = m.static_con(0);
+        recs.push_back(Rec{tag, i + 1, count});
+        i += 1 + count;
+        break;
+      }
+      case PPap: {
+        o = m.alloc_with_gc(cap, ObjKind::Pap, 0, 1 + count);
+        o->payload()[0] = p.words[i];
+        for (std::uint32_t k = 0; k < count; ++k) o->ptr_payload()[1 + k] = m.static_con(0);
+        recs.push_back(Rec{tag, i + 1, count});
+        i += 1 + count;
+        break;
+      }
+      default:
+        throw PackError("corrupt packet header");
+    }
+    nodes.push_back(o);
+  }
+  if (nodes.empty()) throw PackError("empty packet");
+
+  // Pass 2: link children. Freshly allocated nodes may contain stale
+  // payload bits until this completes, which is safe because nothing else
+  // references them yet and pass 2 performs no allocation.
+  for (std::size_t n = 0; n < recs.size(); ++n) {
+    const Rec& r = recs[n];
+    Obj* o = nodes[n];
+    if (o->is_static()) continue;
+    const std::uint32_t base = (r.tag == PThunk || r.tag == PPap) ? 1 : 0;
+    for (std::uint32_t k = 0; k < r.count; ++k) {
+      const Word child = p.words[r.body + k];
+      if (child >= nodes.size()) throw PackError("corrupt packet child reference");
+      o->ptr_payload()[base + k] = nodes[static_cast<std::size_t>(child)];
+    }
+    // A collection during pass 1 may have promoted this node to the old
+    // generation; the links just written can point at young siblings.
+    if (r.count > 0) m.heap().remember(cap, o);
+  }
+  return nodes[0];
+}
+
+}  // namespace ph

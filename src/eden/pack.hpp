@@ -1,0 +1,40 @@
+// Graph packing — the serialisation layer of the distributed-heap
+// implementation (paper §III.B: "computation subgraph structures,
+// serialised into one or more packets for transmission").
+//
+// A packet encodes the subgraph reachable from one root, preserving
+// sharing and cycles *within* the packet via back-references. Thunks are
+// packed as (ExprId, packed environment) — valid on every PE because all
+// PEs run the same Program — so both normal-form data (Trans values) and
+// unevaluated process closures can be shipped. Black holes, placeholders
+// and objects under evaluation cannot be packed; Eden's normal-form-
+// before-send discipline guarantees senders never see them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rts/machine.hpp"
+
+namespace ph {
+
+struct PackError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Packet {
+  std::vector<Word> words;
+  std::size_t size_words() const { return words.size(); }
+};
+
+/// Serialises the graph reachable from `root`.
+Packet pack_graph(Obj* root);
+
+/// Reconstructs a packet's graph in `m`'s heap (capability `cap`),
+/// returning the new root. Mutators of `m` must be stopped (message
+/// delivery happens at slice boundaries). Sharing within the packet is
+/// reproduced exactly; nothing is shared with pre-existing heap objects
+/// except statics (small ints, static function values, nullary cons).
+Obj* unpack_graph(Machine& m, std::uint32_t cap, const Packet& p);
+
+}  // namespace ph

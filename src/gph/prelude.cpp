@@ -1,0 +1,343 @@
+#include "gph/prelude.hpp"
+
+namespace ph {
+
+void build_prelude(Builder& b) {
+  using P = PrimOp;
+
+  b.fun("id", {"x"}, [](Ctx& c) { return c.var("x"); });
+  b.fun("const", {"x", "y"}, [](Ctx& c) { return c.var("x"); });
+  b.fun("plus", {"x", "y"}, [](Ctx& c) { return c.prim(P::Add, c.var("x"), c.var("y")); });
+  b.fun("dbl", {"x"}, [](Ctx& c) { return c.prim(P::Mul, c.var("x"), c.lit(2)); });
+
+  // --- arithmetic helpers ---------------------------------------------------
+  b.fun("gcd", {"a", "b"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Eq, c.var("b"), c.lit(0)), [&] { return c.var("a"); },
+                 [&] {
+                   return c.app("gcd", {c.var("b"), c.prim(P::Mod, c.var("a"), c.var("b"))});
+                 });
+  });
+  b.fun("not", {"x"}, [](Ctx& c) {
+    return c.iff(c.var("x"), [&] { return c.false_(); }, [&] { return c.true_(); });
+  });
+
+  // --- list construction ------------------------------------------------------
+  b.fun("enumFromTo", {"lo", "hi"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Gt, c.var("lo"), c.var("hi")), [&] { return c.nil(); },
+                 [&] {
+                   return c.cons(c.var("lo"),
+                                 c.app("enumFromTo", {c.prim(P::Add, c.var("lo"), c.lit(1)),
+                                                      c.var("hi")}));
+                 });
+  });
+  b.fun("replicate", {"n", "x"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Le, c.var("n"), c.lit(0)), [&] { return c.nil(); },
+                 [&] {
+                   return c.cons(c.var("x"),
+                                 c.app("replicate", {c.prim(P::Sub, c.var("n"), c.lit(1)),
+                                                     c.var("x")}));
+                 });
+  });
+
+  // --- structural list functions ------------------------------------------------
+  b.fun("map", {"f", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.cons(c.app(c.var("f"), {c.var("h")}),
+                                                 c.app("map", {c.var("f"), c.var("t")}));
+                                 }}});
+  });
+  b.fun("filter", {"p", "xs"}, [](Ctx& c) {
+    return c.match(
+        c.var("xs"),
+        {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+         Ctx::AltSpec{1, {"h", "t"}, [&] {
+                        return c.iff(c.app(c.var("p"), {c.var("h")}),
+                                     [&] {
+                                       return c.cons(c.var("h"),
+                                                     c.app("filter", {c.var("p"), c.var("t")}));
+                                     },
+                                     [&] { return c.app("filter", {c.var("p"), c.var("t")}); });
+                      }}});
+  });
+  b.fun("append", {"xs", "ys"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("ys"); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.cons(c.var("h"),
+                                                 c.app("append", {c.var("t"), c.var("ys")}));
+                                 }}});
+  });
+  b.fun("concat", {"xss"}, [](Ctx& c) {
+    return c.match(c.var("xss"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.app("append", {c.var("h"), c.app("concat", {c.var("t")})});
+                                 }}});
+  });
+  b.fun("reverseApp", {"xs", "acc"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("acc"); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.app("reverseApp",
+                                                {c.var("t"), c.cons(c.var("h"), c.var("acc"))});
+                                 }}});
+  });
+  b.fun("reverse", {"xs"}, [](Ctx& c) { return c.app("reverseApp", {c.var("xs"), c.nil()}); });
+
+  b.fun("head", {"xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"), {Ctx::AltSpec{1, {"h", "t"}, [&] { return c.var("h"); }}},
+                   [&] { return c.prim(P::Error, c.lit(1001)); });
+  });
+  b.fun("tail", {"xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"), {Ctx::AltSpec{1, {"h", "t"}, [&] { return c.var("t"); }}},
+                   [&] { return c.prim(P::Error, c.lit(1002)); });
+  });
+  b.fun("index", {"xs", "i"}, [](Ctx& c) {  // xs !! i
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.prim(P::Error, c.lit(1003)); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.iff(c.prim(P::Le, c.var("i"), c.lit(0)),
+                                                [&] { return c.var("h"); },
+                                                [&] {
+                                                  return c.app(
+                                                      "index",
+                                                      {c.var("t"),
+                                                       c.prim(P::Sub, c.var("i"), c.lit(1))});
+                                                });
+                                 }}});
+  });
+
+  b.fun("take", {"n", "xs"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Le, c.var("n"), c.lit(0)), [&] { return c.nil(); },
+                 [&] {
+                   return c.match(
+                       c.var("xs"),
+                       {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+                        Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                       return c.cons(c.var("h"),
+                                                     c.app("take",
+                                                           {c.prim(P::Sub, c.var("n"), c.lit(1)),
+                                                            c.var("t")}));
+                                     }}});
+                 });
+  });
+  b.fun("drop", {"n", "xs"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Le, c.var("n"), c.lit(0)), [&] { return c.var("xs"); },
+                 [&] {
+                   return c.match(
+                       c.var("xs"),
+                       {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+                        Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                       return c.app("drop", {c.prim(P::Sub, c.var("n"), c.lit(1)),
+                                                             c.var("t")});
+                                     }}});
+                 });
+  });
+  /// chunksOf n xs — the sublist splitting the paper's GpH sumEuler uses.
+  b.fun("chunksOf", {"n", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"), {Ctx::AltSpec{0, {}, [&] { return c.nil(); }}},
+                   [&] {
+                     return c.cons(c.app("take", {c.var("n"), c.var("ys")}),
+                                   c.app("chunksOf",
+                                         {c.var("n"), c.app("drop", {c.var("n"), c.var("ys")})}));
+                   },
+                   "ys");
+  });
+
+  /// takeEvery k xs: every k-th element starting at the head.
+  b.fun("takeEvery", {"k", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.cons(
+                                       c.var("h"),
+                                       c.app("takeEvery",
+                                             {c.var("k"),
+                                              c.app("drop", {c.prim(P::Sub, c.var("k"),
+                                                                    c.lit(1)),
+                                                             c.var("t")})}));
+                                 }}});
+  });
+  b.fun("unshuffleGo", {"k", "i", "xs"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Ge, c.var("i"), c.var("k")), [&] { return c.nil(); },
+                 [&] {
+                   return c.cons(c.app("takeEvery",
+                                       {c.var("k"), c.app("drop", {c.var("i"), c.var("xs")})}),
+                                 c.app("unshuffleGo", {c.var("k"),
+                                                       c.prim(P::Add, c.var("i"), c.lit(1)),
+                                                       c.var("xs")}));
+                 });
+  });
+  /// Round-robin split into k sublists (Eden's unshuffle) — balances
+  /// workloads whose cost grows along the list.
+  b.fun("unshuffle", {"k", "xs"}, [](Ctx& c) {
+    return c.app("unshuffleGo", {c.var("k"), c.lit(0), c.var("xs")});
+  });
+
+  b.fun("zipWith", {"f", "xs", "ys"}, [](Ctx& c) {
+    return c.match(
+        c.var("xs"),
+        {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+         Ctx::AltSpec{1, {"h", "t"}, [&] {
+                        return c.match(
+                            c.var("ys"),
+                            {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+                             Ctx::AltSpec{1, {"h2", "t2"}, [&] {
+                                            return c.cons(
+                                                c.app(c.var("f"), {c.var("h"), c.var("h2")}),
+                                                c.app("zipWith",
+                                                      {c.var("f"), c.var("t"), c.var("t2")}));
+                                          }}});
+                      }}});
+  });
+  b.fun("pair2", {"a", "b"}, [](Ctx& c) { return c.pair(c.var("a"), c.var("b")); });
+  b.fun("zip", {"xs", "ys"}, [](Ctx& c) {
+    return c.app("zipWith", {c.global("pair2"), c.var("xs"), c.var("ys")});
+  });
+  b.fun("fst", {"p"}, [](Ctx& c) {
+    return c.match(c.var("p"), {Ctx::AltSpec{0, {"a", "b"}, [&] { return c.var("a"); }}});
+  });
+  b.fun("snd", {"p"}, [](Ctx& c) {
+    return c.match(c.var("p"), {Ctx::AltSpec{0, {"a", "b"}, [&] { return c.var("b"); }}});
+  });
+
+  b.fun("null'", {"xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"), {Ctx::AltSpec{0, {}, [&] { return c.true_(); }}},
+                   [&] { return c.false_(); });
+  });
+  b.fun("nonNull", {"xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"), {Ctx::AltSpec{0, {}, [&] { return c.false_(); }}},
+                   [&] { return c.true_(); });
+  });
+  /// Round-robin merge of several streams: one element from each nonempty
+  /// stream per round. With round-robin task distribution this restores
+  /// global task order (used by the masterWorker skeleton).
+  b.fun("rrMerge", {"xss"}, [](Ctx& c) {
+    return c.let1("ne", c.app("filter", {c.global("nonNull"), c.var("xss")}), [&] {
+      return c.match(c.var("ne"), {Ctx::AltSpec{0, {}, [&] { return c.nil(); }}},
+                     [&] {
+                       return c.app(
+                           "append",
+                           {c.app("map", {c.global("head"), c.var("ne2")}),
+                            c.app("rrMerge", {c.app("map", {c.global("tail"), c.var("ne2")})})});
+                     },
+                     "ne2");
+    });
+  });
+
+  // Rectangular-matrix transpose (matrix = list of rows).
+  b.fun("transpose", {"xss"}, [](Ctx& c) {
+    return c.match(
+        c.var("xss"),
+        {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+         Ctx::AltSpec{1, {"r", "rs"}, [&] {
+                        return c.match(
+                            c.var("r"), {Ctx::AltSpec{0, {}, [&] { return c.nil(); }}},
+                            [&] {
+                              return c.cons(
+                                  c.app("map", {c.global("head"), c.var("xss")}),
+                                  c.app("transpose",
+                                        {c.app("map", {c.global("tail"), c.var("xss")})}));
+                            });
+                      }}});
+  });
+
+  // --- strict folds -------------------------------------------------------------
+  b.fun("foldl'", {"f", "z", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("z"); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.strict(
+                                       "z2", c.app(c.var("f"), {c.var("z"), c.var("h")}), [&] {
+                                         return c.app("foldl'",
+                                                      {c.var("f"), c.var("z2"), c.var("t")});
+                                       });
+                                 }}});
+  });
+  b.fun("foldr", {"f", "z", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("z"); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.app(c.var("f"),
+                                                {c.var("h"),
+                                                 c.app("foldr", {c.var("f"), c.var("z"), c.var("t")})});
+                                 }}});
+  });
+  b.fun("sumAcc", {"xs", "acc"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("acc"); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.strict("a2", c.prim(P::Add, c.var("acc"), c.var("h")),
+                                                   [&] {
+                                                     return c.app("sumAcc",
+                                                                  {c.var("t"), c.var("a2")});
+                                                   });
+                                 }}});
+  });
+  b.fun("sum", {"xs"}, [](Ctx& c) { return c.app("sumAcc", {c.var("xs"), c.lit(0)}); });
+  b.fun("lengthAcc", {"xs", "acc"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("acc"); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.strict("a2", c.prim(P::Add, c.var("acc"), c.lit(1)),
+                                                   [&] {
+                                                     return c.app("lengthAcc",
+                                                                  {c.var("t"), c.var("a2")});
+                                                   });
+                                 }}});
+  });
+  b.fun("length", {"xs"}, [](Ctx& c) { return c.app("lengthAcc", {c.var("xs"), c.lit(0)}); });
+  b.fun("matSum", {"m"}, [](Ctx& c) {  // checksum of a list of rows
+    return c.app("sum", {c.app("map", {c.global("sum"), c.var("m")})});
+  });
+  b.fun("min2", {"a", "b"}, [](Ctx& c) { return c.prim(P::Min, c.var("a"), c.var("b")); });
+  b.fun("max2", {"a", "b"}, [](Ctx& c) { return c.prim(P::Max, c.var("a"), c.var("b")); });
+  b.fun("minimum", {"xs"}, [](Ctx& c) {
+    return c.app("foldl'", {c.global("min2"), c.app("head", {c.var("xs")}),
+                            c.app("tail", {c.var("xs")})});
+  });
+
+  // --- evaluation strategies [27] -----------------------------------------------
+  b.fun("rwhnf", {"x"}, [](Ctx& c) { return c.seq(c.var("x"), c.con(0)); });
+  b.fun("using", {"x", "s"}, [](Ctx& c) {
+    return c.seq(c.app(c.var("s"), {c.var("x")}), c.var("x"));
+  });
+  b.fun("seqList", {"s", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.con(0); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.seq(c.app(c.var("s"), {c.var("h")}),
+                                                c.app("seqList", {c.var("s"), c.var("t")}));
+                                 }}});
+  });
+  b.fun("parList", {"s", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.con(0); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.par(c.app(c.var("s"), {c.var("h")}),
+                                                c.app("parList", {c.var("s"), c.var("t")}));
+                                 }}});
+  });
+  /// rnf at type [Int].
+  b.fun("forceIntList", {"xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.con(0); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.seq(c.var("h"),
+                                                c.app("forceIntList", {c.var("t")}));
+                                 }}});
+  });
+  /// rnf at type [[Int]].
+  b.fun("forceIntMatrix", {"xss"}, [](Ctx& c) {
+    return c.match(c.var("xss"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.con(0); }},
+                    Ctx::AltSpec{1, {"r", "rs"}, [&] {
+                                   return c.seq(c.app("forceIntList", {c.var("r")}),
+                                                c.app("forceIntMatrix", {c.var("rs")}));
+                                 }}});
+  });
+}
+
+}  // namespace ph

@@ -1,0 +1,29 @@
+// The prelude: a lazy list library plus GpH evaluation strategies,
+// written in the core IR. Every benchmark program builds on these.
+//
+// Data conventions (the IR is untyped; tags are per-type):
+//   Unit        Con 0
+//   Bool        False = Con 0, True = Con 1
+//   List        Nil = Con 0, Cons h t = Con 1
+//   Pair        Pair a b = Con 0
+//
+// Strategies follow Trinder et al. [27] ("Algorithm + Strategy =
+// Parallelism"): a Strategy is a function a -> Unit; `using` applies one.
+//   rwhnf x            reduce to weak head normal form
+//   seqList s xs       apply s to every element, sequentially
+//   parList s xs       spark (s x) for every element — the paper's GpH
+//                      workhorse for data parallelism
+//   using x s          seq (s x) x
+//   forceIntList xs    NF for [Int] (what `rnf` means at that type)
+//   forceIntMatrix m   NF for [[Int]]
+#pragma once
+
+#include "core/builder.hpp"
+
+namespace ph {
+
+/// Defines the prelude into `b`'s program. Call once per Program, before
+/// building anything that uses it.
+void build_prelude(Builder& b);
+
+}  // namespace ph

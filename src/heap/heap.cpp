@@ -1,0 +1,221 @@
+#include "heap/heap.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ph {
+namespace {
+// Allocation granularity: every object reserves at least one payload word
+// so that it can be overwritten by a forwarding pointer during GC (nullary
+// constructors would otherwise have no room).
+inline std::size_t alloc_words(std::uint32_t payload_words) {
+  return 1 + std::max<std::uint32_t>(1, payload_words);
+}
+inline std::size_t alloc_words(const Obj* o) { return alloc_words(o->size); }
+
+constexpr std::size_t kStaticBlockWords = 64 * 1024;
+}  // namespace
+
+Heap::Heap(const HeapConfig& cfg) : cfg_(cfg) {
+  if (cfg_.n_nurseries == 0) throw HeapError("heap needs at least one nursery");
+  if (cfg_.nursery_words < 64) throw HeapError("nursery too small");
+  nursery_slab_words_ = cfg_.nursery_words * cfg_.n_nurseries;
+  nursery_base_ = new Word[nursery_slab_words_];
+  nurseries_.resize(cfg_.n_nurseries);
+  remsets_.resize(cfg_.n_nurseries);
+  for (std::uint32_t i = 0; i < cfg_.n_nurseries; ++i) {
+    Word* start = nursery_base_ + static_cast<std::size_t>(i) * cfg_.nursery_words;
+    nurseries_[i] = Nursery{start, start, start + cfg_.nursery_words, 0};
+  }
+  old_capacity_ = std::max(cfg_.old_words, nursery_slab_words_ * 2);
+  old_base_ = new Word[old_capacity_];
+  old_ptr_ = old_base_;
+  old_end_ = old_base_ + old_capacity_;
+}
+
+Heap::~Heap() {
+  delete[] nursery_base_;
+  delete[] old_base_;
+  for (Word* b : static_blocks_) delete[] b;
+}
+
+Obj* Heap::bump(Word*& ptr, Word* end, ObjKind kind, std::uint16_t tag,
+                std::uint32_t payload_words) {
+  const std::size_t need = alloc_words(payload_words);
+  if (ptr + need > end) return nullptr;
+  Obj* o = reinterpret_cast<Obj*>(ptr);
+  ptr += need;
+  o->kind = kind;
+  o->flags = 0;
+  o->tag = tag;
+  o->size = payload_words;
+  return o;
+}
+
+Obj* Heap::alloc(std::uint32_t nid, ObjKind kind, std::uint16_t tag,
+                 std::uint32_t payload_words) {
+  Nursery& n = nurseries_.at(nid);
+  // Objects too large for a (fresh) nursery go straight to the old
+  // generation ("large object space"); they may hold young pointers, so
+  // they enter the remembered set.
+  if (alloc_words(payload_words) > cfg_.nursery_words / 2) {
+    Obj* o = alloc_old(kind, tag, payload_words);
+    remsets_[nid].push_back(o);
+    stats_.words_allocated += alloc_words(payload_words);
+    n.allocated += alloc_words(payload_words);
+    return o;
+  }
+  Obj* o = bump(n.ptr, n.end, kind, tag, payload_words);
+  if (o != nullptr) {
+    stats_.words_allocated += alloc_words(payload_words);
+    n.allocated += alloc_words(payload_words);
+  }
+  return o;
+}
+
+Obj* Heap::alloc_old(ObjKind kind, std::uint16_t tag, std::uint32_t payload_words) {
+  std::lock_guard<std::mutex> lock(old_mutex_);
+  Obj* o = bump(old_ptr_, old_end_, kind, tag, payload_words);
+  if (o == nullptr)
+    throw HeapError("old generation exhausted during large allocation; "
+                    "increase HeapConfig::old_words");
+  return o;
+}
+
+void Heap::remember(std::uint32_t nid, Obj* updated) {
+  if (!in_nursery(updated) && !updated->is_static()) remsets_.at(nid).push_back(updated);
+}
+
+Obj* Heap::alloc_static(ObjKind kind, std::uint16_t tag, std::uint32_t payload_words) {
+  std::lock_guard<std::mutex> lock(static_mutex_);
+  const std::size_t need = alloc_words(payload_words);
+  if (static_ptr_ == nullptr || static_ptr_ + need > static_end_) {
+    const std::size_t block = std::max(kStaticBlockWords, need);
+    static_blocks_.push_back(new Word[block]);
+    static_ptr_ = static_blocks_.back();
+    static_end_ = static_ptr_ + block;
+  }
+  Obj* o = bump(static_ptr_, static_end_, kind, tag, payload_words);
+  o->flags |= kFlagStatic;
+  return o;
+}
+
+std::size_t Heap::nursery_used(std::uint32_t nid) const {
+  const Nursery& n = nurseries_.at(nid);
+  return static_cast<std::size_t>(n.ptr - n.start);
+}
+
+void Heap::reset_nurseries() {
+  for (Nursery& n : nurseries_) n.ptr = n.start;
+}
+
+// --- collector --------------------------------------------------------------
+
+bool Gc::wants(const Obj* p) const {
+  if (p->is_static()) return false;
+  if (h_.in_nursery(p)) return true;
+  if (!major_) return false;  // old objects move only on a major collection
+  // Major: evacuate only from-space residents; an object already in the
+  // fresh to-space must not be copied again (slots may be walked twice,
+  // e.g. when two roots alias or a remembered object is revisited).
+  const Word* w = reinterpret_cast<const Word*>(p);
+  return w >= from_lo_ && w < from_hi_;
+}
+
+Obj* Gc::copy(Obj* p) {
+  assert(p->kind != ObjKind::Fwd);
+  const std::uint32_t payload = p->size;
+  Obj* to = h_.bump(h_.old_ptr_, h_.old_end_, p->kind, p->tag, payload);
+  if (to == nullptr)
+    throw HeapError("to-space exhausted during collection; increase HeapConfig::old_words");
+  std::memcpy(to->payload(), p->payload(),
+              static_cast<std::size_t>(payload) * sizeof(Word));
+  words_copied_ += alloc_words(payload);
+  p->kind = ObjKind::Fwd;
+  p->payload()[0] = reinterpret_cast<Word>(to);
+  if (to->ptrs_last() > to->ptrs_first()) scan_queue_.push_back(to);
+  return to;
+}
+
+void Gc::evacuate(Obj*& slot) {
+  Obj* p = slot;
+  assert(p != nullptr);
+  // Short-circuit indirection chains while evacuating (GHC does the same):
+  // the indirection cell itself is garbage once its target is reachable.
+  while (p->kind == ObjKind::Ind) p = p->ind_target();
+  while (p->kind == ObjKind::Fwd) p = reinterpret_cast<Obj*>(p->payload()[0]);
+  if (!wants(p)) {
+    slot = p;
+    return;
+  }
+  slot = copy(p);
+}
+
+std::uint64_t Heap::collect(const RootWalker& walk_roots, bool force_major) {
+  gc_requested_.store(false, std::memory_order_release);
+
+  // Decide generation. A minor GC promotes into the current old space, so
+  // there must be room for (worst case) every live nursery word.
+  const std::size_t old_used_now = old_used();
+  bool major = force_major ||
+               old_used_now > static_cast<std::size_t>(
+                                  static_cast<double>(old_capacity_) * cfg_.major_threshold) ||
+               old_used_now + nursery_slab_words_ + 1024 > old_capacity_;
+
+  Word* from_base = old_base_;
+  const Word* from_end = old_end_;
+  if (major) {
+    // Fresh to-space, sized for everything that could survive.
+    std::size_t need = old_used_now + nursery_slab_words_ + 1024;
+    std::size_t cap = std::max(old_capacity_, cfg_.old_words);
+    while (static_cast<double>(need) >
+           static_cast<double>(cap) * cfg_.major_threshold)
+      cap = cap * 2;
+    old_base_ = new Word[cap];
+    old_capacity_ = cap;
+    old_ptr_ = old_base_;
+    old_end_ = old_base_ + cap;
+  }
+
+  Gc gc(*this, major);
+  gc.from_lo_ = from_base;
+  gc.from_hi_ = from_end;
+  walk_roots(gc);
+
+  // Remembered set: old-generation slots that were mutated to point at
+  // young data (thunk updates, placeholder fills, large-object fields).
+  // Irrelevant on a major GC where everything is traced anyway.
+  if (!major) {
+    for (auto& rs : remsets_) {
+      for (Obj* o : rs) {
+        if (o->kind == ObjKind::Fwd) continue;  // unreachable from roots is fine; keep fields sane
+        for (std::uint32_t i = o->ptrs_first(); i < o->ptrs_last(); ++i)
+          gc.evacuate(o->ptr_payload()[i]);
+      }
+    }
+  }
+  for (auto& rs : remsets_) rs.clear();
+
+  while (!gc.scan_queue_.empty()) {
+    Obj* o = gc.scan_queue_.back();
+    gc.scan_queue_.pop_back();
+    for (std::uint32_t i = o->ptrs_first(); i < o->ptrs_last(); ++i)
+      gc.evacuate(o->ptr_payload()[i]);
+  }
+
+  if (major) {
+    delete[] from_base;
+    stats_.major_collections++;
+    stats_.words_copied_major += gc.words_copied_;
+  } else {
+    stats_.minor_collections++;
+    stats_.words_copied_minor += gc.words_copied_;
+  }
+  last_live_words_ = gc.words_copied_;
+  reset_nurseries();
+  return gc.words_copied_;
+}
+
+}  // namespace ph

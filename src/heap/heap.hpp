@@ -1,0 +1,173 @@
+// Heap: per-capability allocation areas ("nurseries") over a shared
+// two-generation store, with a sequential stop-the-world copying collector
+// — the structure of GHC 6.x's storage manager that the paper's §IV.A.1
+// optimisations target.
+//
+// * Each capability bump-allocates from its own nursery; when any nursery
+//   fills, a collection is requested and all capabilities must reach a
+//   safe point (the GC barrier, whose promptness is a paper-level policy).
+// * Minor GC evacuates live nursery objects into the old generation.
+//   The only mutations in the runtime are thunk/placeholder updates, so a
+//   remembered set of updated old-generation slots suffices for minor GCs.
+// * Major GC copies the whole live graph into a fresh semispace when the
+//   old generation passes a fill threshold.
+//
+// The collector itself is single-threaded (the paper's baseline GHC used a
+// sequential STW collector); callers guarantee all mutators are stopped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "heap/object.hpp"
+
+namespace ph {
+
+struct HeapError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct HeapConfig {
+  std::uint32_t n_nurseries = 1;
+  /// Allocation-area size per capability, in words. GHC's default 0.5MB
+  /// corresponds to 65536 words; the paper's "big allocation area" runs
+  /// enlarge this substantially.
+  std::size_t nursery_words = 64 * 1024;
+  /// Initial old-generation semispace size in words (grows on demand).
+  std::size_t old_words = 4 * 1024 * 1024;
+  /// Trigger a major GC when old-gen usage exceeds this fraction.
+  double major_threshold = 0.8;
+};
+
+struct GcStats {
+  std::uint64_t minor_collections = 0;
+  std::uint64_t major_collections = 0;
+  std::uint64_t words_copied_minor = 0;
+  std::uint64_t words_copied_major = 0;
+  std::uint64_t words_allocated = 0;  // mutator allocation, cumulative
+};
+
+class Heap;
+
+/// Handle passed to the root-walking callback during a collection. Roots
+/// call evacuate() on every slot holding a heap pointer.
+class Gc {
+ public:
+  void evacuate(Obj*& slot);
+
+ private:
+  friend class Heap;
+  explicit Gc(Heap& h, bool major) : h_(h), major_(major) {}
+  Obj* copy(Obj* p);
+  bool wants(const Obj* p) const;
+
+  Heap& h_;
+  bool major_;
+  // From-space bounds during a major collection: only objects here (or in
+  // the nurseries) are evacuated; anything already in to-space is done.
+  const Word* from_lo_ = nullptr;
+  const Word* from_hi_ = nullptr;
+  std::vector<Obj*> scan_queue_;
+  std::uint64_t words_copied_ = 0;
+};
+
+class Heap {
+ public:
+  explicit Heap(const HeapConfig& cfg);
+  ~Heap();
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // --- mutator interface (one nursery per capability) --------------------
+  /// Allocates an object with `payload_words` payload words from nursery
+  /// `nid`. Returns nullptr if the nursery is full (caller must request a
+  /// GC and retry). Objects too large for a nursery go to the old gen.
+  Obj* alloc(std::uint32_t nid, ObjKind kind, std::uint16_t tag, std::uint32_t payload_words);
+
+  /// Records that `old_obj` (in the old generation) was updated to point
+  /// at young data. Must be called after every thunk/placeholder update
+  /// whose target may be old. Cheap no-op for nursery objects.
+  void remember(std::uint32_t nid, Obj* updated);
+
+  bool gc_requested() const { return gc_requested_.load(std::memory_order_acquire); }
+  void request_gc() { gc_requested_.store(true, std::memory_order_release); }
+
+  /// Runs a collection (minor, or major if the old gen is past threshold
+  /// or `force_major`). All mutators must be stopped. `walk_roots` is
+  /// invoked once and must evacuate every root slot. Returns words copied.
+  using RootWalker = std::function<void(Gc&)>;
+  std::uint64_t collect(const RootWalker& walk_roots, bool force_major = false);
+
+  // --- statics ------------------------------------------------------------
+  /// Allocates an immortal, immovable object (small-int cache, static
+  /// function values, shared nullary constructors).
+  Obj* alloc_static(ObjKind kind, std::uint16_t tag, std::uint32_t payload_words);
+
+  /// Allocates directly in the old generation (large objects; CAF cells).
+  /// The object is movable and collected normally. Callers creating it
+  /// from mutator context must register it in a remembered set if it may
+  /// point at young data.
+  Obj* alloc_old(ObjKind kind, std::uint16_t tag, std::uint32_t payload_words);
+
+  // --- introspection -------------------------------------------------------
+  const GcStats& stats() const { return stats_; }
+  std::size_t nursery_words() const { return cfg_.nursery_words; }
+  std::size_t nursery_used(std::uint32_t nid) const;
+  std::size_t old_used() const { return static_cast<std::size_t>(old_ptr_ - old_base_); }
+  std::uint64_t live_words_after_last_gc() const { return last_live_words_; }
+
+  bool in_old(const Obj* p) const {
+    auto w = reinterpret_cast<const Word*>(p);
+    return w >= old_base_ && w < old_end_;
+  }
+
+  bool in_nursery(const Obj* p) const {
+    auto w = reinterpret_cast<const Word*>(p);
+    return w >= nursery_base_ && w < nursery_base_ + nursery_slab_words_;
+  }
+
+ private:
+  friend class Gc;
+  Obj* bump(Word*& ptr, Word* end, ObjKind kind, std::uint16_t tag, std::uint32_t payload_words);
+  void reset_nurseries();
+
+  HeapConfig cfg_;
+
+  // One contiguous slab holds all nurseries => a single range check
+  // classifies "young" pointers.
+  Word* nursery_base_ = nullptr;
+  std::size_t nursery_slab_words_ = 0;
+  struct Nursery {
+    Word* ptr = nullptr;
+    Word* start = nullptr;
+    Word* end = nullptr;
+    std::uint64_t allocated = 0;  // lifetime words allocated via this nursery
+  };
+  std::vector<Nursery> nurseries_;
+
+  // Old generation: semispace that is bump-allocated (promotion target and
+  // large-object space) and copied wholesale on major GC.
+  Word* old_base_ = nullptr;
+  Word* old_ptr_ = nullptr;
+  Word* old_end_ = nullptr;
+  std::size_t old_capacity_ = 0;
+  std::mutex old_mutex_;  // large-object allocation from mutators
+
+  std::vector<std::vector<Obj*>> remsets_;  // per nursery/capability
+
+  std::vector<Word*> static_blocks_;
+  Word* static_ptr_ = nullptr;
+  Word* static_end_ = nullptr;
+  std::mutex static_mutex_;
+
+  std::atomic<bool> gc_requested_{false};
+  GcStats stats_;
+  std::uint64_t last_live_words_ = 0;
+};
+
+}  // namespace ph

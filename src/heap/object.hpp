@@ -1,0 +1,135 @@
+// Heap object model for the graph-reduction engine.
+//
+// Every value is a heap object with a one-word header followed by a
+// payload of machine words. Which payload words are pointers is fully
+// determined by the object kind (see scan rules below), which is what the
+// copying collector and the Eden graph packer rely on.
+//
+//   Int         payload[0] = value (raw)
+//   Con         tag = constructor tag, payload[0..size) = field ptrs
+//   Thunk       payload[0] = ExprId (raw), payload[1..size) = env ptrs
+//   Ind         payload[0] = ptr to the value this was updated with
+//   BlackHole   payload[0] = blocked-queue index (raw, kNoQueue if none)
+//   Pap         payload[0] = GlobalId (raw), payload[1..size) = arg ptrs
+//               (a Pap with zero args is a plain function value)
+//   Placeholder payload[0] = inport id (raw), payload[1] = queue idx (raw)
+//               (Eden: stands for data that will arrive by message)
+//   Fwd         payload[0] = new address; exists only during GC
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace ph {
+
+using Word = std::uint64_t;
+
+enum class ObjKind : std::uint8_t {
+  Int,
+  Con,
+  Thunk,
+  Ind,
+  BlackHole,
+  Pap,
+  Placeholder,
+  Fwd
+};
+
+constexpr Word kNoQueue = ~Word{0};
+
+constexpr std::uint8_t kFlagStatic = 1;  // lives in the static arena, never moves
+
+struct Obj {
+  ObjKind kind;
+  std::uint8_t flags;
+  std::uint16_t tag;   // constructor tag (Con only)
+  std::uint32_t size;  // payload length in words
+
+  Word* payload() { return reinterpret_cast<Word*>(this) + 1; }
+  const Word* payload() const { return reinterpret_cast<const Word*>(this) + 1; }
+
+  Obj** ptr_payload() { return reinterpret_cast<Obj**>(payload()); }
+  Obj* const* ptr_payload() const { return reinterpret_cast<Obj* const*>(payload()); }
+
+  bool is_static() const { return (flags & kFlagStatic) != 0; }
+
+  /// Total footprint in words including the header.
+  std::size_t footprint() const { return 1 + size; }
+
+  // --- typed accessors (asserted) ---------------------------------------
+  std::int64_t int_value() const {
+    assert(kind == ObjKind::Int);
+    return static_cast<std::int64_t>(payload()[0]);
+  }
+  std::int32_t thunk_expr() const {
+    assert(kind == ObjKind::Thunk);
+    return static_cast<std::int32_t>(payload()[0]);
+  }
+  std::uint32_t thunk_env_len() const {
+    assert(kind == ObjKind::Thunk);
+    return size - 1;
+  }
+  std::int32_t pap_fun() const {
+    assert(kind == ObjKind::Pap);
+    return static_cast<std::int32_t>(payload()[0]);
+  }
+  std::uint32_t pap_nargs() const {
+    assert(kind == ObjKind::Pap);
+    return size - 1;
+  }
+  Obj* ind_target() const {
+    assert(kind == ObjKind::Ind);
+    return ptr_payload()[0];
+  }
+
+  /// First payload index holding a pointer, and one-past-last. All payload
+  /// words in [first, last) are heap pointers; everything else is raw.
+  std::uint32_t ptrs_first() const {
+    switch (kind) {
+      case ObjKind::Con: return 0;
+      case ObjKind::Ind: return 0;
+      case ObjKind::Thunk: return 1;
+      case ObjKind::Pap: return 1;
+      default: return 0;
+    }
+  }
+  std::uint32_t ptrs_last() const {
+    switch (kind) {
+      case ObjKind::Con: return size;
+      case ObjKind::Ind: return 1;
+      case ObjKind::Thunk: return size;
+      case ObjKind::Pap: return size;
+      default: return 0;  // Int, BlackHole, Placeholder, Fwd carry no scannable ptrs
+    }
+  }
+
+  /// Is this object a value in weak head normal form?
+  bool is_whnf() const {
+    return kind == ObjKind::Int || kind == ObjKind::Con || kind == ObjKind::Pap;
+  }
+};
+
+static_assert(sizeof(Obj) == sizeof(Word), "object header must be one word");
+
+// Cross-thread object transitions (thunk update, placeholder fill, black-
+// holing) publish the new payload with a release store of the kind byte;
+// concurrent readers pair it with an acquire load. The heavier transitions
+// are additionally serialised by the Machine's striped object locks when a
+// threaded driver is active; these fences cover the lock-free fast paths
+// (follow(), WHNF checks).
+inline ObjKind kind_acquire(const Obj* p) {
+  return std::atomic_ref<const ObjKind>(p->kind).load(std::memory_order_acquire);
+}
+inline void set_kind_release(Obj* p, ObjKind k) {
+  std::atomic_ref<ObjKind>(p->kind).store(k, std::memory_order_release);
+}
+
+/// Follows indirection chains to the current representative of a value.
+inline Obj* follow(Obj* p) {
+  while (kind_acquire(p) == ObjKind::Ind) p = p->ind_target();
+  return p;
+}
+
+}  // namespace ph

@@ -1,0 +1,29 @@
+// Convenience: one Program containing the prelude and every benchmark.
+#pragma once
+
+#include "core/builder.hpp"
+#include "gph/prelude.hpp"
+#include "progs/apsp.hpp"
+#include "progs/divconq.hpp"
+#include "progs/matmul.hpp"
+#include "progs/sumeuler.hpp"
+
+namespace ph {
+
+inline void build_all_programs(Builder& b) {
+  build_prelude(b);
+  build_sumeuler(b);
+  build_matmul(b);
+  build_apsp(b);
+  build_divconq(b);
+}
+
+inline Program make_full_program() {
+  Program p;
+  Builder b(p);
+  build_all_programs(b);
+  p.validate();
+  return p;
+}
+
+}  // namespace ph

@@ -1,0 +1,235 @@
+#include "progs/apsp.hpp"
+
+#include <algorithm>
+
+namespace ph {
+
+void build_apsp(Builder& b) {
+  using P = PrimOp;
+
+  // minPlus rk m kj = min m (rk + kj)
+  b.fun("minPlus", {"rk", "m", "kj"}, [](Ctx& c) {
+    return c.prim(P::Min, c.var("m"), c.prim(P::Add, c.var("rk"), c.var("kj")));
+  });
+  // updRow r k krow: relax row r with row k
+  b.fun("updRow", {"r", "k", "krow"}, [](Ctx& c) {
+    return c.let1("rk", c.app("index", {c.var("r"), c.var("k")}), [&] {
+      return c.app("zipWith",
+                   {c.app(c.global("minPlus"), {c.var("rk")}), c.var("r"), c.var("krow")});
+    });
+  });
+  b.fun("updRowWith", {"k", "krow", "r"}, [](Ctx& c) {
+    return c.app("updRow", {c.var("r"), c.var("k"), c.var("krow")});
+  });
+
+  // --- GpH: sparked Floyd–Warshall ------------------------------------------
+  // Each iteration sparks every row update; row k of the previous
+  // iteration is a single shared thunk all of them force.
+  b.fun("fwStep", {"k", "rowk", "mat"}, [](Ctx& c) {
+    return c.app("map", {c.app(c.global("updRowWith"), {c.var("k"), c.var("rowk")}),
+                         c.var("mat")});
+  });
+  // Builds the full lazy chain mat^(0) -> mat^(n) WITHOUT forcing: every
+  // intermediate row is a shared thunk.
+  b.fun("fwChain", {"n", "k", "mat"}, [](Ctx& c) {
+    return c.iff(
+        c.prim(P::Ge, c.var("k"), c.var("n")), [&] { return c.var("mat"); },
+        [&] {
+          return c.app("fwChain",
+                       {c.var("n"), c.prim(P::Add, c.var("k"), c.lit(1)),
+                        c.app("fwStep",
+                              {c.var("k"), c.app("index", {c.var("mat"), c.var("k")}),
+                               c.var("mat")})});
+        });
+  });
+  // "Sparks an evaluation for each row in advance and relies on the
+  // runtime system efficiently synchronising concurrent evaluations":
+  // only the FINAL rows are sparked; each forcing descends the whole
+  // k-chain, whose intermediate rows are shared between all threads —
+  // under lazy black-holing this duplicates massive amounts of work.
+  b.fun("apspGph", {"n", "mat"}, [](Ctx& c) {
+    return c.let1("matN", c.app("fwChain", {c.var("n"), c.lit(0), c.var("mat")}), [&] {
+      return c.seq(
+          c.app(c.global("parList"), {c.global("forceIntList"), c.var("matN")}),
+          c.var("matN"));
+    });
+  });
+  b.fun("fwGoSeq", {"n", "k", "mat"}, [](Ctx& c) {
+    return c.iff(
+        c.prim(P::Ge, c.var("k"), c.var("n")), [&] { return c.var("mat"); },
+        [&] {
+          return c.let1("rowk", c.app("index", {c.var("mat"), c.var("k")}), [&] {
+            return c.let1(
+                "mat2", c.app("fwStep", {c.var("k"), c.var("rowk"), c.var("mat")}), [&] {
+                  return c.seq(c.app("forceIntMatrix", {c.var("mat2")}),
+                               c.app("fwGoSeq", {c.var("n"),
+                                                 c.prim(P::Add, c.var("k"), c.lit(1)),
+                                                 c.var("mat2")}));
+                });
+          });
+        });
+  });
+  b.fun("apspSeq", {"n", "mat"}, [](Ctx& c) {  // same recursion, no sparks
+    return c.app("fwGoSeq", {c.var("n"), c.lit(0), c.var("mat")});
+  });
+  b.fun("apspChecksum", {"n", "mat"}, [](Ctx& c) {
+    return c.app("matSum", {c.app("apspGph", {c.var("n"), c.var("mat")})});
+  });
+
+  // --- Eden ring node ----------------------------------------------------------
+  // Circulating items are Con0(hopsRemaining, kBase, rowsBundle).
+  // updRowSeq kb krows r: relax r with rows kb, kb+1, ... in ascending order
+  b.fun("updRowSeq", {"kb", "krows", "r"}, [](Ctx& c) {
+    return c.match(c.var("krows"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("r"); }},
+                    Ctx::AltSpec{1, {"kr", "kt"}, [&] {
+                                   return c.app(
+                                       "updRowSeq",
+                                       {c.prim(P::Add, c.var("kb"), c.lit(1)), c.var("kt"),
+                                        c.app("updRow", {c.var("r"), c.var("kb"),
+                                                         c.var("kr")})});
+                                 }}});
+  });
+  // forward hop-limited items unchanged
+  b.fun("forwards", {"items"}, [](Ctx& c) {
+    return c.match(
+        c.var("items"),
+        {Ctx::AltSpec{0, {}, [&] { return c.nil(); }},
+         Ctx::AltSpec{1, {"it", "t"}, [&] {
+                        return c.match(
+                            c.var("it"),
+                            {Ctx::AltSpec{0, {"h", "kb", "rs"}, [&] {
+                               return c.iff(
+                                   c.prim(P::Gt, c.var("h"), c.lit(1)),
+                                   [&] {
+                                     return c.cons(
+                                         c.con(0, {c.prim(P::Sub, c.var("h"), c.lit(1)),
+                                                   c.var("kb"), c.var("rs")}),
+                                         c.app("forwards", {c.var("t")}));
+                                   },
+                                   [&] { return c.app("forwards", {c.var("t")}); });
+                             }}});
+                      }}});
+  });
+  // relax a whole bundle with one circulating item
+  b.fun("updBundle", {"rows", "item"}, [](Ctx& c) {
+    return c.match(c.var("item"),
+                   {Ctx::AltSpec{0, {"h", "kb", "krows"}, [&] {
+                      return c.app("map", {c.app(c.global("updRowSeq"),
+                                                 {c.var("kb"), c.var("krows")}),
+                                           c.var("rows")});
+                    }}});
+  });
+  // Pipelined strict relaxation: the accumulated bundle is fully forced
+  // BEFORE waiting on the next circulating item, so each item's update is
+  // computed while the node sits blocked on the ring — otherwise all the
+  // work lands in one burst on the critical path when the result is sent.
+  b.fun("foldItems", {"rows", "items"}, [](Ctx& c) {
+    return c.seq(
+        c.app("forceIntMatrix", {c.var("rows")}),
+        c.match(c.var("items"),
+                {Ctx::AltSpec{0, {}, [&] { return c.var("rows"); }},
+                 Ctx::AltSpec{1, {"it", "t"}, [&] {
+                                return c.app("foldItems",
+                                             {c.app("updBundle", {c.var("rows"), c.var("it")}),
+                                              c.var("t")});
+                              }}}));
+  });
+  // ascending self-relaxation of the node's own bundle (kBase = first k)
+  b.fun("selfUpd", {"kb", "done", "rows"}, [](Ctx& c) {
+    return c.match(c.var("rows"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.var("done"); }},
+                    Ctx::AltSpec{1, {"r", "t"}, [&] {
+                                   return c.let1(
+                                       "r2",
+                                       c.app("updRowSeq",
+                                             {c.var("kb"), c.var("done"), c.var("r")}),
+                                       [&] {
+                                         return c.app(
+                                             "selfUpd",
+                                             {c.var("kb"),
+                                              c.app("append",
+                                                    {c.var("done"),
+                                                     c.cons(c.var("r2"), c.nil())}),
+                                              c.var("t")});
+                                       });
+                                 }}});
+  });
+  //   apspRingNode p nb i myrows ringIn = (finalRows, ringOut)
+  b.fun("apspRingNode", {"p", "nb", "i", "myrows", "ringIn"}, [](Ctx& c) {
+    // A node receives exactly p-1 items; taking counted prefixes (rather
+    // than waiting for the stream's close) is what lets the ring's
+    // termination avoid a circular close-dependency.
+    return c.let1("pre", c.app("take", {c.var("i"), c.var("ringIn")}), [&] {
+      return c.let1("post",
+                    c.app("take", {c.prim(P::Sub, c.prim(P::Sub, c.var("p"), c.lit(1)),
+                                          c.var("i")),
+                                   c.app("drop", {c.var("i"), c.var("ringIn")})}),
+                    [&] {
+        return c.let1("kb", c.prim(P::Mul, c.var("i"), c.var("nb")), [&] {
+          return c.let1("mine1", c.app("foldItems", {c.var("myrows"), c.var("pre")}), [&] {
+            return c.let1(
+                "mine2", c.app("selfUpd", {c.var("kb"), c.nil(), c.var("mine1")}), [&] {
+                  // Completion pass: each own row also relaxed with the
+                  // *later* rows of the bundle (phase-correct versions).
+                  return c.let1(
+                      "mine3",
+                      c.app("map", {c.app(c.global("updRowSeq"),
+                                          {c.var("kb"), c.var("mine2")}),
+                                    c.var("mine2")}),
+                      [&] {
+                        return c.pair(
+                            // final bundle: further relaxed by wrapped rows
+                            c.app("foldItems", {c.var("mine3"), c.var("post")}),
+                            // ring output: forwards of earlier rows, then my
+                            // own (pre-relaxed) bundle, then later forwards
+                            c.app("append",
+                                  {c.app("forwards", {c.var("pre")}),
+                                   c.cons(c.con(0, {c.prim(P::Sub, c.var("p"), c.lit(1)),
+                                                    c.var("kb"), c.var("mine3")}),
+                                          c.app("forwards", {c.var("post")}))}));
+                      });
+                });
+          });
+        });
+      });
+    });
+  });
+  /// parent-side: bundles (list of [[Int]]) -> checksum
+  b.fun("apspCollect", {"bundles"}, [](Ctx& c) {
+    return c.app("matSum", {c.app("concat", {c.var("bundles")})});
+  });
+}
+
+DistMat random_graph(std::size_t n, std::uint64_t seed) {
+  DistMat d(n, std::vector<std::int64_t>(n, kApspInf));
+  std::uint64_t s = seed * 2862933555777941757ull + 3037000493ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i][i] = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      s = s * 2862933555777941757ull + 3037000493ull;
+      if ((s >> 61) < 3)  // ~3/8 edge density
+        d[i][j] = static_cast<std::int64_t>((s >> 33) % 100) + 1;
+    }
+  }
+  return d;
+}
+
+DistMat floyd_warshall(DistMat d) {
+  const std::size_t n = d.size();
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+  return d;
+}
+
+std::int64_t apsp_checksum(const DistMat& d) {
+  std::int64_t s = 0;
+  for (const auto& row : d)
+    for (std::int64_t v : row) s += v;
+  return s;
+}
+
+}  // namespace ph

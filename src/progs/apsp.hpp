@@ -1,0 +1,47 @@
+// All-pairs shortest paths — the paper's third benchmark (§V, Fig. 5):
+// "a genuinely parallel algorithm... using a process ring for optimised
+// communication (adapted from [34])".
+//
+// The distance matrix is relaxed row-wise (Floyd–Warshall):
+//   for k in 0..n-1:  row_i[j] = min(row_i[j], row_i[k] + row_k[j])
+//
+// GpH version: each iteration sparks all n row updates; every update of
+// iteration k forces the shared thunk for row k of iteration k-1, so the
+// runtime must synchronise concurrent evaluations through black holes —
+// the program that exposes the lazy-vs-eager black-holing difference.
+//
+// Eden version: a ring of p processes, each owning a bundle of n/p rows.
+// Updated row bundles circulate the ring exactly once, in ascending-k
+// pipeline order (the classic distributed Floyd–Warshall); each node's
+// output pair is (final bundle, ring output stream), whose components are
+// sent by independent threads — the reason Eden communicates tuple
+// components separately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builder.hpp"
+
+namespace ph {
+
+constexpr std::int64_t kApspInf = 1'000'000'000;
+
+/// Defines (requires build_prelude first):
+///   minPlus/3 updRow/3 updRowWith/3 fwStep/3 fwGo/3
+///   apspGph/2 (n, mat)        — sparked Floyd–Warshall, returns matrix
+///   apspSeq/2                 — sequential Floyd–Warshall in the IR
+///   apspChecksum/2 (n, mat)   — matSum of apspGph output (forced)
+///   updRowSeq/3 forwards/1 updBundle/2 foldItems/2 selfUpd/3
+///   apspRingNode/5 (p, nb, i, myrows, ringIn) -> (finalRows, ringOut)
+///   apspCollect/1 (list of bundles -> checksum)
+void build_apsp(Builder& b);
+
+using DistMat = std::vector<std::vector<std::int64_t>>;
+
+/// Deterministic random digraph distance matrix (kApspInf = no edge).
+DistMat random_graph(std::size_t n, std::uint64_t seed);
+DistMat floyd_warshall(DistMat d);
+std::int64_t apsp_checksum(const DistMat& d);
+
+}  // namespace ph

@@ -1,0 +1,154 @@
+#include "progs/divconq.hpp"
+
+namespace ph {
+
+void build_divconq(Builder& b) {
+  using P = PrimOp;
+
+  b.fun("nfib", {"n"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Lt, c.var("n"), c.lit(2)), [&] { return c.lit(1); },
+                 [&] {
+                   return c.prim(
+                       P::Add,
+                       c.prim(P::Add,
+                              c.app("nfib", {c.prim(P::Sub, c.var("n"), c.lit(1))}),
+                              c.app("nfib", {c.prim(P::Sub, c.var("n"), c.lit(2))})),
+                       c.lit(1));
+                 });
+  });
+  // nfibPar t n: spark the left branch while computing the right, down to
+  // threshold t, below which it falls back to the sequential version.
+  b.fun("nfibPar", {"t", "n"}, [](Ctx& c) {
+    return c.iff(
+        c.prim(P::Lt, c.var("n"), c.var("t")), [&] { return c.app("nfib", {c.var("n")}); },
+        [&] {
+          return c.let1(
+              "a", c.app("nfibPar", {c.var("t"), c.prim(P::Sub, c.var("n"), c.lit(1))}),
+              [&] {
+                return c.let1(
+                    "b2",
+                    c.app("nfibPar", {c.var("t"), c.prim(P::Sub, c.var("n"), c.lit(2))}),
+                    [&] {
+                      return c.par(c.var("a"),
+                                   c.seq(c.var("b2"),
+                                         c.prim(P::Add,
+                                                c.prim(P::Add, c.var("a"), c.var("b2")),
+                                                c.lit(1))));
+                    });
+              });
+        });
+  });
+
+  // --- n-queens ---------------------------------------------------------------
+  // safeQ q qs d: q does not attack any queen in qs (distance d, d+1, ...).
+  b.fun("safeQ", {"q", "qs", "d"}, [](Ctx& c) {
+    return c.match(
+        c.var("qs"),
+        {Ctx::AltSpec{0, {}, [&] { return c.true_(); }},
+         Ctx::AltSpec{1, {"h", "t"}, [&] {
+                        return c.iff(
+                            c.prim(P::Eq, c.var("q"), c.var("h")),
+                            [&] { return c.false_(); },
+                            [&] {
+                              return c.iff(
+                                  c.prim(P::Eq, c.var("q"),
+                                         c.prim(P::Add, c.var("h"), c.var("d"))),
+                                  [&] { return c.false_(); },
+                                  [&] {
+                                    return c.iff(
+                                        c.prim(P::Eq, c.var("q"),
+                                               c.prim(P::Sub, c.var("h"), c.var("d"))),
+                                        [&] { return c.false_(); },
+                                        [&] {
+                                          return c.app("safeQ",
+                                                       {c.var("q"), c.var("t"),
+                                                        c.prim(P::Add, c.var("d"),
+                                                               c.lit(1))});
+                                        });
+                                  });
+                            });
+                      }}});
+  });
+  // queensGo/queensCount are mutually recursive: declare both first.
+  GlobalId queens_go_id = b.declare("queensGo", 4);
+  GlobalId queens_count_id = b.declare("queensCount", 3);
+  // queensGo n qs placed q: try columns q..n for the next row.
+  b.define(queens_go_id, {"n", "qs", "placed", "q"}, [](Ctx& c) {
+    return c.iff(
+        c.prim(P::Gt, c.var("q"), c.var("n")), [&] { return c.lit(0); },
+        [&] {
+          return c.strict(
+              "here",
+              c.iff(c.app("safeQ", {c.var("q"), c.var("qs"), c.lit(1)}),
+                    [&] {
+                      return c.app("queensCount",
+                                   {c.var("n"), c.cons(c.var("q"), c.var("qs")),
+                                    c.prim(P::Add, c.var("placed"), c.lit(1))});
+                    },
+                    [&] { return c.lit(0); }),
+              [&] {
+                return c.prim(P::Add, c.var("here"),
+                              c.app("queensGo", {c.var("n"), c.var("qs"), c.var("placed"),
+                                                 c.prim(P::Add, c.var("q"), c.lit(1))}));
+              });
+        });
+  });
+  b.define(queens_count_id, {"n", "qs", "placed"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Ge, c.var("placed"), c.var("n")), [&] { return c.lit(1); },
+                 [&] {
+                   return c.app("queensGo",
+                                {c.var("n"), c.var("qs"), c.var("placed"), c.lit(1)});
+                 });
+  });
+  b.fun("queensSeq", {"n"}, [](Ctx& c) {
+    return c.app("queensCount", {c.var("n"), c.nil(), c.lit(0)});
+  });
+  // queensPar: one spark per first-row column (the classic decomposition).
+  b.fun("queensSub", {"n", "q"}, [](Ctx& c) {
+    return c.app("queensCount", {c.var("n"), c.cons(c.var("q"), c.nil()), c.lit(1)});
+  });
+  b.fun("queensPar", {"n"}, [](Ctx& c) {
+    return c.let1(
+        "subs",
+        c.app("map", {c.app(c.global("queensSub"), {c.var("n")}),
+                      c.app("enumFromTo", {c.lit(1), c.var("n")})}),
+        [&] {
+          return c.app("sum", {c.app("using", {c.var("subs"),
+                                               c.app(c.global("parList"),
+                                                     {c.global("rwhnf")})})});
+        });
+  });
+}
+
+std::int64_t nfib_reference(std::int64_t n) {
+  if (n < 2) return 1;
+  return nfib_reference(n - 1) + nfib_reference(n - 2) + 1;
+}
+
+namespace {
+std::int64_t queens_go(std::int64_t n, std::int64_t placed, const std::int64_t* qs) {
+  if (placed >= n) return 1;
+  std::int64_t total = 0;
+  for (std::int64_t q = 1; q <= n; ++q) {
+    bool safe = true;
+    for (std::int64_t d = 1; d <= placed; ++d) {
+      const std::int64_t h = qs[placed - d];
+      if (q == h || q == h + d || q == h - d) {
+        safe = false;
+        break;
+      }
+    }
+    if (safe) {
+      std::int64_t stack[32];
+      for (std::int64_t i = 0; i < placed; ++i) stack[i] = qs[i];
+      stack[placed] = q;
+      total += queens_go(n, placed + 1, stack);
+    }
+  }
+  return total;
+}
+}  // namespace
+
+std::int64_t queens_reference(std::int64_t n) { return queens_go(n, 0, nullptr); }
+
+}  // namespace ph

@@ -1,0 +1,24 @@
+// Divide-and-conquer GpH classics: parallel nfib (with a granularity
+// threshold) and n-queens solution counting (spark per top-level branch).
+// Not benchmarks from the paper's §V, but the canonical workloads of the
+// GpH literature — used for granularity ablations and scheduler tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/builder.hpp"
+
+namespace ph {
+
+/// Defines (requires build_prelude first):
+///   nfib/1               sequential nfib
+///   nfibPar/2 (t, n)     spark both branches above threshold t
+///   safeQ/3 queensGo/4 queensCount/3
+///   queensSeq/1          number of n-queens solutions
+///   queensPar/1          sparks one subtree per first-row placement
+void build_divconq(Builder& b);
+
+std::int64_t nfib_reference(std::int64_t n);
+std::int64_t queens_reference(std::int64_t n);
+
+}  // namespace ph

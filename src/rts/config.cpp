@@ -1,0 +1,46 @@
+#include "rts/config.hpp"
+
+namespace ph {
+
+RtsConfig config_plain(std::uint32_t n_caps) {
+  RtsConfig c;
+  c.n_caps = n_caps;
+  c.heap.nursery_words = 64 * 1024;  // GHC's 0.5MB default allocation area
+  c.barrier = BarrierPolicy::Naive;
+  c.work = WorkPolicy::PushOnPoll;
+  c.blackhole = BlackholePolicy::Lazy;
+  c.sparkrun = SparkRunPolicy::ThreadPerSpark;
+  c.name = "gph-plain";
+  return c;
+}
+
+RtsConfig config_bigalloc(std::uint32_t n_caps) {
+  RtsConfig c = config_plain(n_caps);
+  c.heap.nursery_words = 512 * 1024;  // 8x allocation area (the paper's "big")
+  c.name = "gph-bigalloc";
+  return c;
+}
+
+RtsConfig config_gcsync(std::uint32_t n_caps) {
+  RtsConfig c = config_bigalloc(n_caps);
+  c.barrier = BarrierPolicy::Improved;
+  c.name = "gph-gcsync";
+  return c;
+}
+
+RtsConfig config_worksteal(std::uint32_t n_caps) {
+  RtsConfig c = config_gcsync(n_caps);
+  c.work = WorkPolicy::Steal;
+  c.sparkrun = SparkRunPolicy::SparkThread;
+  c.name = "gph-worksteal";
+  return c;
+}
+
+RtsConfig config_worksteal_eagerbh(std::uint32_t n_caps) {
+  RtsConfig c = config_worksteal(n_caps);
+  c.blackhole = BlackholePolicy::Eager;
+  c.name = "gph-worksteal-eagerbh";
+  return c;
+}
+
+}  // namespace ph

@@ -1,0 +1,116 @@
+#include "rts/flags.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace ph {
+namespace {
+
+/// Parses "512k" / "4m" / "1g" / "4096" into a byte count.
+std::uint64_t parse_size(const std::string& s, const std::string& flag) {
+  if (s.empty()) throw FlagError("missing size in " + flag);
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+    pos++;
+  }
+  if (pos == 0) throw FlagError("malformed size in " + flag);
+  std::uint64_t mult = 1;
+  if (pos < s.size()) {
+    switch (std::tolower(static_cast<unsigned char>(s[pos]))) {
+      case 'k': mult = 1024; break;
+      case 'm': mult = 1024 * 1024; break;
+      case 'g': mult = 1024ull * 1024 * 1024; break;
+      default: throw FlagError("bad size suffix in " + flag);
+    }
+    if (pos + 1 != s.size()) throw FlagError("trailing junk in " + flag);
+  }
+  return v * mult;
+}
+
+std::uint64_t parse_num(const std::string& s, const std::string& flag) {
+  if (s.empty()) throw FlagError("missing number in " + flag);
+  std::uint64_t v = 0;
+  for (char ch : s) {
+    if (!std::isdigit(static_cast<unsigned char>(ch)))
+      throw FlagError("malformed number in " + flag);
+    v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return v;
+}
+
+constexpr std::uint64_t kWord = sizeof(Word);
+
+}  // namespace
+
+RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base) {
+  RtsConfig cfg = std::move(base);
+  for (const std::string& f : flags) {
+    if (f.size() < 2 || f[0] != '-') throw FlagError("unrecognised RTS flag: " + f);
+    const std::string rest = f.substr(2);
+    switch (f[1]) {
+      case 'N': {
+        const std::uint64_t n = parse_num(rest, f);
+        if (n == 0) throw FlagError("-N needs at least one capability");
+        cfg.n_caps = static_cast<std::uint32_t>(n);
+        break;
+      }
+      case 'A':
+        cfg.heap.nursery_words = static_cast<std::size_t>(parse_size(rest, f) / kWord);
+        if (cfg.heap.nursery_words < 64) throw FlagError("-A area too small (min 512 bytes)");
+        break;
+      case 'H':
+        cfg.heap.old_words = static_cast<std::size_t>(parse_size(rest, f) / kWord);
+        break;
+      case 'C':
+        cfg.quantum_steps = static_cast<std::uint32_t>(parse_num(rest, f));
+        if (cfg.quantum_steps == 0) throw FlagError("-C quantum must be positive");
+        break;
+      case 'S':
+        cfg.spark_pool_capacity = static_cast<std::uint32_t>(parse_num(rest, f));
+        break;
+      case 'q': {
+        if (rest.size() != 1) throw FlagError("unrecognised RTS flag: " + f);
+        switch (rest[0]) {
+          case 'b': cfg.barrier = BarrierPolicy::Naive; break;
+          case 'B': cfg.barrier = BarrierPolicy::Improved; break;
+          case 'p': cfg.work = WorkPolicy::PushOnPoll; break;
+          case 's': cfg.work = WorkPolicy::Steal; break;
+          case 'l': cfg.blackhole = BlackholePolicy::Lazy; break;
+          case 'e': cfg.blackhole = BlackholePolicy::Eager; break;
+          case 't': cfg.sparkrun = SparkRunPolicy::ThreadPerSpark; break;
+          case 'T': cfg.sparkrun = SparkRunPolicy::SparkThread; break;
+          default: throw FlagError("unrecognised RTS flag: " + f);
+        }
+        break;
+      }
+      default:
+        throw FlagError("unrecognised RTS flag: " + f);
+    }
+  }
+  cfg.name = "flags";
+  return cfg;
+}
+
+RtsConfig parse_rts_flags(const std::string& flags, RtsConfig base) {
+  std::vector<std::string> toks;
+  std::istringstream in(flags);
+  std::string t;
+  while (in >> t) toks.push_back(t);
+  return parse_rts_flags(toks, std::move(base));
+}
+
+std::string show_rts_flags(const RtsConfig& cfg) {
+  std::ostringstream out;
+  out << "-N" << cfg.n_caps;
+  out << " -A" << (cfg.heap.nursery_words * kWord / 1024) << "k";
+  out << " -C" << cfg.quantum_steps;
+  out << (cfg.barrier == BarrierPolicy::Naive ? " -qb" : " -qB");
+  out << (cfg.work == WorkPolicy::PushOnPoll ? " -qp" : " -qs");
+  out << (cfg.blackhole == BlackholePolicy::Lazy ? " -ql" : " -qe");
+  out << (cfg.sparkrun == SparkRunPolicy::ThreadPerSpark ? " -qt" : " -qT");
+  return out.str();
+}
+
+}  // namespace ph

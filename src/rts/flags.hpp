@@ -1,0 +1,40 @@
+// GHC-style RTS flag parsing: configure a runtime from a command-line
+// flag string, mirroring the flags GHC-era users would recognise.
+//
+//   -N<n>          number of capabilities                    (-N8)
+//   -A<size>       allocation area per capability            (-A512k, -A4m)
+//   -H<size>       initial old-generation size               (-H64m)
+//   -C<steps>      context-switch quantum in machine steps   (-C2000)
+//   -qb / -qB      naive / improved GC barrier
+//   -qp / -qs      push-on-poll / work-stealing spark distribution
+//   -ql / -qe      lazy / eager black-holing
+//   -qt / -qT      thread-per-spark / spark-thread activation
+//   -S<n>          spark pool capacity
+//
+// Sizes accept k/m/g suffixes and are in BYTES like GHC's -A/-H (one
+// machine word = 8 bytes). Unknown flags raise FlagError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rts/config.hpp"
+
+namespace ph {
+
+struct FlagError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses flags (whitespace-separated string) on top of `base`.
+RtsConfig parse_rts_flags(const std::string& flags, RtsConfig base = RtsConfig{});
+
+/// Parses a vector of argv-style tokens on top of `base`.
+RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base = RtsConfig{});
+
+/// Renders a config back into its flag string (round-trips through the
+/// parser; used for reporting which configuration a run used).
+std::string show_rts_flags(const RtsConfig& cfg);
+
+}  // namespace ph

@@ -1,0 +1,288 @@
+// Machine: one parallel Haskell runtime instance — a shared heap, a fixed
+// set of capabilities (the paper's §III.A: "a capability represents the
+// resources for running a Haskell computation"), the TSO table, spark
+// pools, black-hole wait queues, CAF cells and the GC orchestration.
+//
+// A GpH shared-heap system is one Machine with N capabilities. An Eden
+// distributed-heap system is N Machines with one capability each, linked
+// by the message-passing layer in src/eden (exactly the paper's setup of
+// one GHC runtime per PE).
+//
+// Machines are *driven* externally: the virtual-time simulation driver
+// (src/sim) and the OS-thread driver (src/rts/threaded.hpp) both advance
+// capabilities through Machine's scheduling primitives, so all policy
+// logic lives here and is identical under both drivers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/program.hpp"
+#include "heap/heap.hpp"
+#include "rts/config.hpp"
+#include "rts/tso.hpp"
+#include "rts/wsdeque.hpp"
+
+namespace ph {
+
+/// Raised when evaluation goes wrong (type mismatch at a primop, the
+/// `error#` primitive, division by zero, ...).
+struct EvalError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Why a call to Machine::step returned.
+enum class StepOutcome : std::uint8_t {
+  Ok,        // made progress; keep going
+  NeedGc,    // allocation failed; run a collection and retry the thread
+  Blocked,   // thread blocked on a black hole / placeholder; pick another
+  Finished   // thread completed; result is in Tso::result
+};
+
+struct SparkStats {
+  std::uint64_t created = 0;
+  std::uint64_t dud = 0;        // spark target already evaluated at `par`
+  std::uint64_t overflowed = 0; // pool full
+  std::uint64_t converted = 0;  // turned into (or run by) a thread locally
+  std::uint64_t stolen = 0;     // taken by another capability
+  std::uint64_t fizzled = 0;    // evaluated by someone else before running
+  std::uint64_t pruned = 0;     // discarded by the collector (already WHNF)
+};
+
+class Machine;
+
+class Capability {
+ public:
+  Capability(Machine& m, std::uint32_t id, std::uint32_t spark_capacity)
+      : id_(id), m_(m), sparks_(spark_capacity) {}
+
+  std::uint32_t id() const { return id_; }
+
+  // --- run queue (lock-protected: other capabilities push wakeups) -------
+  void push_thread(Tso* t);
+  void push_thread_front(Tso* t);
+  Tso* pop_thread();
+  std::size_t run_queue_len() const;
+  bool has_runnable() const { return run_queue_len() > 0; }
+
+  // --- spark pool ----------------------------------------------------------
+  void spark(Obj* p);                    // owner only (the `par` primitive)
+  std::optional<Obj*> pop_spark();       // owner only
+  std::optional<Obj*> steal_spark();     // any capability
+  std::size_t spark_pool_size() const { return sparks_.size(); }
+
+  SparkStats& spark_stats() { return spark_stats_; }
+  const SparkStats& spark_stats() const { return spark_stats_; }
+
+  /// Words allocated since the last allocation check (GC-barrier polling).
+  std::uint64_t alloc_debt = 0;
+  /// True while the capability advertises itself as idle (PushOnPoll
+  /// scheme uses this to decide where to push surplus work).
+  bool idle = false;
+  /// The spark thread currently owned by this capability, if any.
+  Tso* spark_thread = nullptr;
+  /// Number of this capability's threads currently blocked (black holes /
+  /// placeholders) — used to render the paper's "red" trace state.
+  std::atomic<std::uint32_t> n_blocked{0};
+
+ private:
+  friend class Machine;
+  std::uint32_t id_;
+  Machine& m_;
+  std::deque<Tso*> run_queue_;
+  mutable std::mutex rq_mutex_;
+  WsDeque<Obj*> sparks_;
+  SparkStats spark_stats_;
+};
+
+struct MachineStats {
+  std::uint64_t threads_created = 0;
+  std::atomic<std::uint64_t> duplicate_updates{0};  // wasted work seen at update
+  std::uint64_t blocked_on_blackhole = 0;
+  std::uint64_t blocked_on_placeholder = 0;
+};
+
+class Machine {
+ public:
+  Machine(const Program& prog, RtsConfig cfg);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const Program& program() const { return prog_; }
+  const RtsConfig& config() const { return cfg_; }
+
+  /// Identity of this machine within a distributed (Eden) system, and a
+  /// backpointer to that system for native communication frames.
+  std::uint32_t pe_id = 0;
+  void* user_data = nullptr;
+  Heap& heap() { return *heap_; }
+  std::uint32_t n_caps() const { return static_cast<std::uint32_t>(caps_.size()); }
+  Capability& cap(std::uint32_t i) { return *caps_.at(i); }
+
+  // --- evaluation ---------------------------------------------------------
+  /// Runs one abstract-machine step of `t` on capability `c`. The step is
+  /// transactional w.r.t. allocation: on NeedGc nothing was mutated and
+  /// the step can be retried after a collection.
+  StepOutcome step(Capability& c, Tso& t);
+
+  /// Lazy black-holing (§IV.A.3): called when a thread is suspended; marks
+  /// the thunks under evaluation by this thread as black holes. No-op
+  /// under the Eager policy (they already are).
+  void blackhole_pending_updates(Capability& c, Tso& t);
+
+  // --- thread management ----------------------------------------------------
+  /// Creates a runnable TSO that forces heap object `p` to WHNF.
+  Tso* spawn_enter(Obj* p, std::uint32_t cap, bool enqueue = true);
+  /// Creates a runnable TSO computing `f a1 .. an` for already-marshalled
+  /// argument objects.
+  Tso* spawn_apply(GlobalId f, const std::vector<Obj*>& args, std::uint32_t cap,
+                   bool enqueue = true);
+  /// Creates a runnable TSO that forces `p` to full normal form (deep).
+  Tso* spawn_deep_force(Obj* p, std::uint32_t cap, bool enqueue = true);
+  Tso* tso(ThreadId id) { return tsos_.at(id).get(); }
+  std::size_t tso_count() const { return tsos_.size(); }
+
+  // --- scheduling primitives (shared by both drivers) -----------------------
+  /// Picks the next thread for `c`: run queue first, then local sparks
+  /// (per SparkRunPolicy). Returns nullptr if the capability has no local
+  /// work. Does not steal — the driver decides when to pay for stealing.
+  Tso* schedule_next(Capability& c);
+  /// One steal attempt (WorkPolicy::Steal): round-robin over victims.
+  /// Returns a TSO running the stolen spark, or nullptr.
+  Tso* try_steal(Capability& thief);
+  /// PushOnPoll: offload surplus sparks/threads from `c` to idle
+  /// capabilities. Called only when c's scheduler runs (context switch) —
+  /// reproducing the delayed load balancing of GHC 6.8.x.
+  void push_work(Capability& c);
+  /// Called when a spark thread finishes one spark: feeds it the next
+  /// spark (local, else steal) or retires it. Returns false if retired.
+  bool spark_thread_continue(Capability& c, Tso& t);
+  /// Any spark anywhere? (spark threads exit when this is false).
+  bool sparks_anywhere() const;
+  /// Any runnable work anywhere (threads or sparks)?
+  bool work_anywhere() const;
+
+  // --- statics & CAFs --------------------------------------------------------
+  Obj* small_int(std::int64_t v);            // static cache for |v| <= 1024
+  Obj* static_fun(GlobalId g);               // arity>0 globals as values
+  Obj* static_con(std::uint16_t tag);        // shared nullary constructors
+  Obj* caf_cell(GlobalId g);                 // updatable 0-arity global cell
+
+  // --- black-hole / placeholder wait queues -----------------------------------
+  void block_on(Obj* bh_or_ph, Tso& t);
+  void wake_queue_of(Obj* obj);  // wakes + frees the queue of obj (if any)
+  /// Performs a thunk update: target becomes an indirection to value,
+  /// waiters are woken, duplicate updates are counted and discarded.
+  void update(Capability& c, Obj* target, Obj* value);
+
+  // --- Eden hooks ---------------------------------------------------------------
+  /// Allocates a placeholder standing for data arriving on `inport`.
+  /// Mutators must be stopped or the call made from the owning capability.
+  Obj* new_placeholder(std::uint32_t cap, std::uint64_t inport);
+  /// Fills a placeholder with a value (message arrival) and wakes waiters.
+  void fill_placeholder(Capability& c, Obj* ph, Obj* value);
+
+  // --- GC ------------------------------------------------------------------------
+  /// Runs a collection. ALL mutators must be stopped (the drivers enforce
+  /// the barrier). Returns words copied (the pause-cost proxy).
+  std::uint64_t collect(bool force_major = false);
+  /// Registers an extra root-walking callback (Eden inport tables, host
+  /// marshalling guards).
+  using RootWalkFn = std::function<void(Gc&)>;
+  std::size_t add_root_walker(RootWalkFn fn);
+  void remove_root_walker(std::size_t idx);
+  /// Allocation helper for host code running while mutators are stopped:
+  /// retries through a GC (protect live temporaries with root walkers).
+  Obj* alloc_with_gc(std::uint32_t cap, ObjKind kind, std::uint16_t tag,
+                     std::uint32_t payload_words);
+
+  /// Debug aid: verifies every root points into a live space (enable with
+  /// the PARHASK_GC_VALIDATE environment variable; used to chase missed
+  /// roots). `when` labels the failure report.
+  void validate_roots(const char* when);
+
+  MachineStats& stats() { return stats_; }
+  const MachineStats& stats() const { return stats_; }
+
+  /// Enables the striped object locks serialising thunk entry / update /
+  /// black-holing. Engaged by the threaded driver; the (single-OS-thread)
+  /// simulation drivers leave it off and pay nothing.
+  void set_concurrent(bool on) { concurrent_ = on; }
+  bool concurrent() const { return concurrent_; }
+  /// Locks the transition stripe for `o` (no-op lock when not concurrent).
+  std::unique_lock<std::mutex> lock_obj(Obj* o) {
+    if (!concurrent_) return std::unique_lock<std::mutex>();
+    const std::size_t h = (reinterpret_cast<std::uintptr_t>(o) >> 4) % kStripes;
+    return std::unique_lock<std::mutex>(stripes_[h]);
+  }
+
+  /// Aggregated spark stats over all capabilities.
+  SparkStats total_spark_stats() const;
+
+ private:
+  friend class Capability;
+  Tso* new_tso(std::uint32_t cap);
+  void walk_roots(Gc& gc);
+  void walk_tso(Gc& gc, Tso& t);
+  Tso* run_spark(Capability& c, Obj* spark_obj, bool as_spark_thread);
+
+  struct WaitQueue {
+    std::vector<ThreadId> waiters;
+    bool in_use = false;
+  };
+
+  const Program& prog_;
+  RtsConfig cfg_;
+  std::unique_ptr<Heap> heap_;
+  std::vector<std::unique_ptr<Capability>> caps_;
+  std::vector<std::unique_ptr<Tso>> tsos_;
+  std::mutex tso_mutex_;
+
+  std::vector<WaitQueue> wait_queues_;
+  std::vector<std::size_t> wait_queue_free_;
+  std::mutex wait_mutex_;
+
+  // Statics (immortal, unscanned): small ints, function values, nullary
+  // constructors; plus updatable CAF cells (old-gen objects, GC roots).
+  std::vector<Obj*> small_ints_;
+  std::vector<Obj*> static_funs_;
+  std::vector<Obj*> static_cons_;
+  std::vector<Obj*> caf_cells_;
+
+  std::vector<RootWalkFn> root_walkers_;
+  std::mutex steal_mutex_;
+  std::uint32_t steal_rr_ = 0;
+
+  static constexpr std::size_t kStripes = 64;
+  std::array<std::mutex, kStripes> stripes_;
+  bool concurrent_ = false;
+
+  MachineStats stats_;
+};
+
+/// RAII guard keeping host-held heap pointers alive across collections
+/// triggered by Machine::alloc_with_gc.
+class RootGuard {
+ public:
+  RootGuard(Machine& m, std::vector<Obj*>& slots)
+      : m_(m), idx_(m.add_root_walker([&slots](Gc& gc) {
+          for (Obj*& s : slots)
+            if (s != nullptr) gc.evacuate(s);
+        })) {}
+  ~RootGuard() { m_.remove_root_walker(idx_); }
+  RootGuard(const RootGuard&) = delete;
+  RootGuard& operator=(const RootGuard&) = delete;
+
+ private:
+  Machine& m_;
+  std::size_t idx_;
+};
+
+}  // namespace ph

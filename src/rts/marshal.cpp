@@ -1,0 +1,137 @@
+#include "rts/marshal.hpp"
+
+namespace ph {
+
+Obj* make_int(Machine& m, std::uint32_t cap, std::int64_t v) {
+  if (Obj* s = m.small_int(v)) return s;
+  Obj* o = m.alloc_with_gc(cap, ObjKind::Int, 0, 1);
+  o->payload()[0] = static_cast<Word>(v);
+  return o;
+}
+
+Obj* make_list(Machine& m, std::uint32_t cap, const std::vector<Obj*>& elems) {
+  std::vector<Obj*> protect = elems;  // kept alive across collections
+  protect.push_back(m.static_con(0)); // the list under construction (Nil)
+  RootGuard guard(m, protect);
+  Obj*& acc = protect.back();
+  for (std::size_t i = elems.size(); i-- > 0;) {
+    Obj* cell = m.alloc_with_gc(cap, ObjKind::Con, 1, 2);
+    cell->ptr_payload()[0] = protect[i];  // use the (possibly moved) root copy
+    cell->ptr_payload()[1] = acc;
+    acc = cell;
+  }
+  return acc;
+}
+
+Obj* make_int_list(Machine& m, std::uint32_t cap, const std::vector<std::int64_t>& xs) {
+  std::vector<Obj*> protect{m.static_con(0)};
+  RootGuard guard(m, protect);
+  for (std::size_t i = xs.size(); i-- > 0;) {
+    Obj* e = make_int(m, cap, xs[i]);
+    protect.push_back(e);  // NOTE: push may reallocate; index protect[] below
+    Obj* cell = m.alloc_with_gc(cap, ObjKind::Con, 1, 2);
+    cell->ptr_payload()[0] = protect.back();
+    cell->ptr_payload()[1] = protect[0];
+    protect.pop_back();
+    protect[0] = cell;
+  }
+  return protect[0];
+}
+
+Obj* make_int_matrix(Machine& m, std::uint32_t cap,
+                     const std::vector<std::vector<std::int64_t>>& rows) {
+  std::vector<Obj*> protect{m.static_con(0)};
+  RootGuard guard(m, protect);
+  for (std::size_t i = rows.size(); i-- > 0;) {
+    Obj* row = make_int_list(m, cap, rows[i]);
+    protect.push_back(row);
+    Obj* cell = m.alloc_with_gc(cap, ObjKind::Con, 1, 2);
+    cell->ptr_payload()[0] = protect.back();
+    cell->ptr_payload()[1] = protect[0];
+    protect.pop_back();
+    protect[0] = cell;
+  }
+  return protect[0];
+}
+
+Obj* make_pap(Machine& m, std::uint32_t cap, GlobalId g, const std::vector<Obj*>& args) {
+  const Global& gl = m.program().global(g);
+  if (args.empty()) return m.static_fun(g);
+  if (args.size() >= static_cast<std::size_t>(gl.arity))
+    throw EvalError("make_pap: needs fewer args than the arity of " + gl.name);
+  std::vector<Obj*> protect = args;
+  RootGuard guard(m, protect);
+  Obj* pap = m.alloc_with_gc(cap, ObjKind::Pap, 0,
+                             static_cast<std::uint32_t>(1 + args.size()));
+  pap->payload()[0] = static_cast<Word>(g);
+  for (std::size_t i = 0; i < args.size(); ++i) pap->ptr_payload()[1 + i] = protect[i];
+  return pap;
+}
+
+Obj* make_pair(Machine& m, std::uint32_t cap, Obj* a, Obj* b) {
+  std::vector<Obj*> protect{a, b};
+  RootGuard guard(m, protect);
+  Obj* p = m.alloc_with_gc(cap, ObjKind::Con, 0, 2);
+  p->ptr_payload()[0] = protect[0];
+  p->ptr_payload()[1] = protect[1];
+  return p;
+}
+
+Obj* make_apply_thunk(Machine& m, std::uint32_t cap, GlobalId g,
+                      const std::vector<Obj*>& args) {
+  const Global& gl = m.program().global(g);
+  if (static_cast<std::size_t>(gl.arity) != args.size())
+    throw EvalError("make_apply_thunk: arity mismatch for " + gl.name);
+  std::vector<Obj*> protect = args;
+  RootGuard guard(m, protect);
+  Obj* th = m.alloc_with_gc(cap, ObjKind::Thunk, 0,
+                            static_cast<std::uint32_t>(1 + args.size()));
+  th->payload()[0] = static_cast<Word>(gl.body);
+  for (std::size_t i = 0; i < args.size(); ++i) th->ptr_payload()[1 + i] = protect[i];
+  return th;
+}
+
+std::int64_t read_int(Obj* o) {
+  o = follow(o);
+  if (o->kind != ObjKind::Int) throw EvalError("read_int: value is not an integer");
+  return o->int_value();
+}
+
+std::uint16_t read_con_tag(Obj* o) {
+  o = follow(o);
+  if (o->kind != ObjKind::Con) throw EvalError("read_con_tag: value is not a constructor");
+  return o->tag;
+}
+
+Obj* read_field(Obj* o, std::uint32_t i) {
+  o = follow(o);
+  if (o->kind != ObjKind::Con || i >= o->size)
+    throw EvalError("read_field: bad constructor access");
+  return o->ptr_payload()[i];
+}
+
+std::vector<std::int64_t> read_int_list(Obj* o) {
+  std::vector<std::int64_t> out;
+  o = follow(o);
+  while (true) {
+    if (o->kind != ObjKind::Con) throw EvalError("read_int_list: not a list");
+    if (o->tag == 0) return out;  // Nil
+    if (o->tag != 1 || o->size != 2) throw EvalError("read_int_list: not a cons cell");
+    out.push_back(read_int(o->ptr_payload()[0]));
+    o = follow(o->ptr_payload()[1]);
+  }
+}
+
+std::vector<std::vector<std::int64_t>> read_int_matrix(Obj* o) {
+  std::vector<std::vector<std::int64_t>> out;
+  o = follow(o);
+  while (true) {
+    if (o->kind != ObjKind::Con) throw EvalError("read_int_matrix: not a list");
+    if (o->tag == 0) return out;
+    if (o->tag != 1 || o->size != 2) throw EvalError("read_int_matrix: not a cons cell");
+    out.push_back(read_int_list(o->ptr_payload()[0]));
+    o = follow(o->ptr_payload()[1]);
+  }
+}
+
+}  // namespace ph

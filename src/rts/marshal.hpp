@@ -1,0 +1,58 @@
+// Host <-> heap marshalling: build IR-level data structures (integers,
+// lists, matrices) from C++ values and read evaluated results back.
+//
+// Building may trigger collections (Machine::alloc_with_gc), so these
+// helpers keep intermediate pointers registered as GC roots. They must be
+// called while mutators are stopped (typically before a driver starts or
+// after it returns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rts/machine.hpp"
+
+namespace ph {
+
+/// Allocates a boxed integer (uses the static small-int cache when it can).
+Obj* make_int(Machine& m, std::uint32_t cap, std::int64_t v);
+
+/// Allocates a Haskell-style cons list of integers.
+Obj* make_int_list(Machine& m, std::uint32_t cap, const std::vector<std::int64_t>& xs);
+
+/// Allocates a list of integer lists (e.g. a matrix as list of rows).
+Obj* make_int_matrix(Machine& m, std::uint32_t cap,
+                     const std::vector<std::vector<std::int64_t>>& rows);
+
+/// Allocates a cons list out of pre-built element objects.
+Obj* make_list(Machine& m, std::uint32_t cap, const std::vector<Obj*>& elems);
+
+/// Allocates a partial application of global `g` to the given arguments
+/// (fewer than g's arity) — a function value usable as e.g. a strategy.
+Obj* make_pap(Machine& m, std::uint32_t cap, GlobalId g, const std::vector<Obj*>& args);
+
+/// Allocates a pair constructor (Con 0 with two fields).
+Obj* make_pair(Machine& m, std::uint32_t cap, Obj* a, Obj* b);
+
+/// Builds an unevaluated application `g args...` as a thunk (a manual
+/// closure: the thunk's code is g's body and its environment is exactly
+/// the argument vector). Requires args.size() == g's arity.
+Obj* make_apply_thunk(Machine& m, std::uint32_t cap, GlobalId g,
+                      const std::vector<Obj*>& args);
+
+/// Reads a fully evaluated integer. Throws EvalError on non-Int.
+std::int64_t read_int(Obj* o);
+
+/// Reads a fully evaluated list of integers. Throws on thunks/non-lists.
+std::vector<std::int64_t> read_int_list(Obj* o);
+
+/// Reads a fully evaluated list of integer lists.
+std::vector<std::vector<std::int64_t>> read_int_matrix(Obj* o);
+
+/// Reads the WHNF constructor tag (following indirections).
+std::uint16_t read_con_tag(Obj* o);
+
+/// Reads field `i` of a WHNF constructor (following indirections).
+Obj* read_field(Obj* o, std::uint32_t i);
+
+}  // namespace ph

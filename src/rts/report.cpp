@@ -1,0 +1,71 @@
+#include "rts/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ph {
+namespace {
+std::string human_words(std::uint64_t words) {
+  const std::uint64_t bytes = words * sizeof(Word);
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  if (bytes >= 1024ull * 1024 * 1024)
+    out << static_cast<double>(bytes) / (1024.0 * 1024 * 1024) << " GiB";
+  else if (bytes >= 1024 * 1024)
+    out << static_cast<double>(bytes) / (1024.0 * 1024) << " MiB";
+  else if (bytes >= 1024)
+    out << static_cast<double>(bytes) / 1024.0 << " KiB";
+  else
+    out << bytes << " B";
+  return out.str();
+}
+}  // namespace
+
+std::string gc_report(const Heap& heap) {
+  const GcStats& s = heap.stats();
+  std::ostringstream out;
+  out << "  " << human_words(s.words_allocated) << " allocated in the heap\n";
+  out << "  " << human_words(s.words_copied_minor) << " copied during "
+      << s.minor_collections << " minor GCs\n";
+  out << "  " << human_words(s.words_copied_major) << " copied during "
+      << s.major_collections << " major GCs\n";
+  out << "  " << human_words(heap.old_used()) << " resident in the old generation\n";
+  return out.str();
+}
+
+std::string spark_report(const Machine& m) {
+  SparkStats s = m.total_spark_stats();
+  std::ostringstream out;
+  out << "  SPARKS: " << s.created << " (" << s.converted << " converted, " << s.stolen
+      << " stolen, " << s.fizzled << " fizzled, " << s.pruned << " GC'd, " << s.dud
+      << " dud, " << s.overflowed << " overflowed)\n";
+  return out.str();
+}
+
+std::string run_report(Machine& m, const SimResult* sim) {
+  std::ostringstream out;
+  out << "Runtime statistics (" << m.config().name << ", " << m.n_caps()
+      << " capabilities):\n";
+  out << gc_report(m.heap());
+  out << spark_report(m);
+  out << "  THREADS: " << m.stats().threads_created << " created, "
+      << m.stats().blocked_on_blackhole << " black-hole blocks, "
+      << m.stats().blocked_on_placeholder << " placeholder blocks\n";
+  const std::uint64_t dups = m.stats().duplicate_updates.load();
+  if (dups != 0) out << "  DUPLICATE updates (lazy black-holing waste): " << dups << "\n";
+  if (sim != nullptr) {
+    out << "  VIRTUAL TIME: " << sim->makespan << " cycles, " << sim->gc_count
+        << " collections pausing " << sim->gc_pause_total << " cycles, "
+        << sim->mutator_steps << " mutator steps";
+    if (sim->makespan > 0 && m.n_caps() > 0) {
+      const double util = static_cast<double>(sim->mutator_steps) /
+                          (static_cast<double>(sim->makespan) * m.n_caps());
+      out << " (" << std::fixed << std::setprecision(1) << 100.0 * util
+          << "% mutator utilisation)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ph

@@ -1,0 +1,22 @@
+// Run-statistics reports in the spirit of GHC's `+RTS -s` output: heap,
+// GC, spark and scheduling summaries for a finished run.
+#pragma once
+
+#include <string>
+
+#include "rts/machine.hpp"
+#include "sim/sim_driver.hpp"
+
+namespace ph {
+
+/// Storage-manager summary: allocation volume, collections, copied words.
+std::string gc_report(const Heap& heap);
+
+/// Spark-pool summary across all capabilities (GHC's "SPARKS" line).
+std::string spark_report(const Machine& m);
+
+/// Full run report: the two above plus thread counts, duplicate-update
+/// accounting and, when a SimResult is supplied, virtual-time totals.
+std::string run_report(Machine& m, const SimResult* sim = nullptr);
+
+}  // namespace ph

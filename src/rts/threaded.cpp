@@ -1,0 +1,143 @@
+#include "rts/threaded.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ph {
+
+ThreadedResult ThreadedDriver::run(Tso* main_tso) {
+  const auto t0 = std::chrono::steady_clock::now();
+  m_.set_concurrent(true);
+  done_.store(false);
+  deadlocked_.store(false);
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(m_.n_caps());
+    for (std::uint32_t i = 0; i < m_.n_caps(); ++i)
+      workers.emplace_back([this, i, main_tso] { worker(i, main_tso); });
+  }
+  m_.set_concurrent(false);
+  const auto t1 = std::chrono::steady_clock::now();
+  ThreadedResult r;
+  r.value = main_tso->result;
+  r.deadlocked = deadlocked_.load();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+void ThreadedDriver::barrier() {
+  std::unique_lock<std::mutex> lk(gc_mutex_);
+  const std::uint64_t epoch = gc_epoch_;
+  gc_arrived_++;
+  if (gc_arrived_ == m_.n_caps()) {
+    // Last to park: run the sequential stop-the-world collection.
+    if (!done_.load()) m_.collect();
+    gc_arrived_ = 0;
+    gc_epoch_++;
+    gc_cv_.notify_all();
+    return;
+  }
+  gc_cv_.wait(lk, [&] { return gc_epoch_ != epoch || done_.load(); });
+  if (done_.load()) return;
+  // Note: gc_arrived_ was already reset by the collector thread.
+}
+
+void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
+  Capability& c = m_.cap(ci);
+  Tso* active = nullptr;
+  std::uint32_t idle_spins = 0;
+  std::uint32_t deadlock_strikes = 0;
+  const RtsConfig& cfg = m_.config();
+
+  auto finish = [&] {
+    std::lock_guard<std::mutex> lk(gc_mutex_);
+    done_.store(true);
+    gc_cv_.notify_all();
+  };
+
+  while (!done_.load(std::memory_order_acquire)) {
+    // Safe point: a requested collection is joined even when idle. A
+    // worker holding an unfinished thread parks with it and resumes after.
+    if (m_.heap().gc_requested()) {
+      barrier();
+      continue;
+    }
+
+    if (active == nullptr) {
+      active = m_.schedule_next(c);
+      if (active == nullptr) active = m_.try_steal(c);
+      if (active == nullptr) {
+        c.idle = true;
+        if (++idle_spins < 64) {
+          std::this_thread::yield();
+          continue;
+        }
+        const std::uint64_t before = progress_.load();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (progress_.load() == before && !m_.work_anywhere() &&
+            !m_.heap().gc_requested() && !done_.load()) {
+          if (++deadlock_strikes >= 5) {
+            deadlocked_.store(true);
+            finish();
+            return;
+          }
+        } else {
+          deadlock_strikes = 0;
+        }
+        continue;
+      }
+      c.idle = false;
+      idle_spins = 0;
+      deadlock_strikes = 0;
+      active->state = ThreadState::Running;
+    }
+
+    // Run one quantum in small batches so progress_ ticks regularly.
+    std::uint32_t steps = 0;
+    bool release = false;  // give up the thread (blocked/finished/moved on)
+    while (steps < cfg.quantum_steps && !release) {
+      if (m_.heap().gc_requested()) {
+        barrier();
+        continue;  // retry from the current step
+      }
+      const std::uint32_t batch = std::min<std::uint32_t>(256, cfg.quantum_steps - steps);
+      for (std::uint32_t k = 0; k < batch; ++k) {
+        const StepOutcome out = m_.step(c, *active);
+        steps++;
+        if (out == StepOutcome::Ok) continue;
+        if (out == StepOutcome::NeedGc) {
+          barrier();  // park; the step is retried after the collection
+          continue;
+        }
+        if (out == StepOutcome::Blocked) {
+          m_.blackhole_pending_updates(c, *active);
+          active = nullptr;
+          release = true;
+          break;
+        }
+        // Finished.
+        if (active == main_tso) {
+          finish();
+          return;
+        }
+        if (active->is_spark_thread && m_.spark_thread_continue(c, *active)) continue;
+        active = nullptr;
+        release = true;
+        break;
+      }
+      progress_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (active != nullptr && !release) {
+      // Quantum expired: context switch; the scheduler runs.
+      m_.blackhole_pending_updates(c, *active);
+      active->state = ThreadState::Runnable;
+      c.push_thread(active);
+      active = nullptr;
+    }
+    m_.push_work(c);
+  }
+}
+
+}  // namespace ph

@@ -1,0 +1,55 @@
+// ThreadedDriver: runs a Machine with one OS thread per capability — the
+// "real parallelism" configuration of the paper's §III.A (lightweight
+// Haskell threads multiplexed onto heavyweight OS threads).
+//
+// This driver demonstrates that the runtime's data structures (Chase–Lev
+// spark deques, striped thunk-transition locks, the stop-the-world GC
+// barrier) are truly concurrent; the *measured* figures come from the
+// deterministic virtual-time driver in src/sim, because this repository
+// targets a single-core host (see DESIGN.md §2).
+//
+// GC protocol: when any capability fails to allocate it requests a
+// collection; every worker parks at its next safe point; the last to park
+// performs the (sequential, stop-the-world) collection and releases the
+// others — exactly the GHC 6.x structure the paper optimises.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "rts/machine.hpp"
+
+namespace ph {
+
+struct ThreadedResult {
+  Obj* value = nullptr;
+  bool deadlocked = false;
+  double seconds = 0.0;
+};
+
+class ThreadedDriver {
+ public:
+  explicit ThreadedDriver(Machine& m) : m_(m) {}
+
+  /// Runs until `main_tso` finishes. Blocks the calling thread.
+  ThreadedResult run(Tso* main_tso);
+
+ private:
+  void worker(std::uint32_t ci, Tso* main_tso);
+  /// Parks at the GC barrier; the last arrival collects. Returns when the
+  /// collection (if any) is over.
+  void barrier();
+
+  Machine& m_;
+  std::mutex gc_mutex_;
+  std::condition_variable gc_cv_;
+  std::uint32_t gc_arrived_ = 0;
+  std::uint64_t gc_epoch_ = 0;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> deadlocked_{false};
+  std::atomic<std::uint64_t> progress_{0};
+};
+
+}  // namespace ph

@@ -1,0 +1,108 @@
+// Thread State Objects (TSOs): the lightweight Haskell threads of the
+// runtime. A TSO is a suspendable graph-reduction in progress: a `Code`
+// register saying what to do next plus a stack of continuation frames.
+//
+// TSOs are scheduled cooperatively by capabilities; they suspend at safe
+// points (quantum expiry, GC barrier, blocking on a black hole or an Eden
+// placeholder) and can be resumed by any capability.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ir.hpp"
+#include "heap/object.hpp"
+
+namespace ph {
+
+class Machine;
+class Capability;
+struct Tso;
+struct Frame;
+
+/// What a native frame handler did (see FrameKind::Native).
+enum class NativeAction : std::uint8_t {
+  Done,  // pop the frame; the returned value continues to the next frame
+  Retry  // the handler rearranged code/stack itself; just keep stepping
+};
+
+/// Handler for FrameKind::Native, called when a WHNF value `v` is
+/// returned to the frame at `frame_idx` of `t`'s stack. Used by the Eden
+/// layer to implement communication threads (normal-form-and-send, stream
+/// senders, tuple-component splitting) without the evaluator knowing
+/// anything about message passing. Handlers may mutate the frame, push
+/// further frames and set the thread's code register.
+using NativeFn = NativeAction (*)(Machine&, Capability&, Tso&, std::size_t frame_idx,
+                                  Obj* v);
+
+using ThreadId = std::uint32_t;
+constexpr ThreadId kNoThread = ~ThreadId{0};
+
+/// Environments map de Bruijn levels to heap values. Stored by value in
+/// frames; the GC updates every copy in place (forwarding is idempotent).
+using Env = std::vector<Obj*>;
+
+enum class CodeMode : std::uint8_t {
+  Eval,  // evaluate expr under env
+  Enter, // force heap object ptr to WHNF
+  Ret    // deliver WHNF ptr to the top stack frame
+};
+
+struct Code {
+  CodeMode mode = CodeMode::Ret;
+  ExprId expr = kNoExpr;
+  Env env;
+  Obj* ptr = nullptr;
+};
+
+enum class FrameKind : std::uint8_t {
+  Case,        // expr = Case node, env: scrutinise the returned WHNF
+  Update,      // obj = thunk/black hole to update with the returned value
+  Apply,       // ptrs = pending arguments for the returned function value
+  Prim,        // expr = Prim node, env, ptrs = done operands, idx = next kid
+  Seq,         // expr = continuation body, env
+  ForceDeep,   // deep (normal-form) forcing: obj = Con being traversed or
+               // nullptr while awaiting the root WHNF; idx = next field
+  Native       // native = handler, aux = handler state (e.g. an outport)
+};
+
+struct Frame {
+  FrameKind kind;
+  ExprId expr = kNoExpr;
+  Env env;
+  Obj* obj = nullptr;
+  std::vector<Obj*> ptrs;
+  std::uint32_t idx = 0;
+  std::uint64_t aux = 0;
+  NativeFn native = nullptr;
+};
+
+enum class ThreadState : std::uint8_t {
+  Runnable,
+  Running,
+  BlockedOnBlackHole,
+  BlockedOnPlaceholder,
+  Finished
+};
+
+struct Tso {
+  ThreadId id = kNoThread;
+  ThreadState state = ThreadState::Runnable;
+  std::uint32_t home_cap = 0;  // capability whose run queue owns this TSO
+  bool is_spark_thread = false;
+
+  Code code;
+  std::vector<Frame> stack;
+  Obj* result = nullptr;  // valid once state == Finished
+
+  /// Virtual time before which the thread must not be scheduled (used by
+  /// the Eden driver to model process-instantiation latency).
+  std::uint64_t start_time = 0;
+
+  // statistics
+  std::uint64_t steps = 0;
+  std::uint64_t allocated_words = 0;
+};
+
+}  // namespace ph

@@ -1,0 +1,140 @@
+// Chase–Lev dynamic circular work-stealing deque (SPAA'05, the paper's
+// reference [31]) — the lock-free spark pool behind the work-stealing
+// optimisation of §IV.A.2.
+//
+// One owner thread pushes/pops at the bottom; any number of thieves steal
+// from the top. Memory ordering follows the Lê/Pop/Cohen/Nardelli (PPoPP
+// 2013) formalisation of the algorithm for C11 atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace ph {
+
+template <typename T>
+class WsDeque {
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::vector<std::atomic<T>> slots;
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 1024)
+      : top_(0), bottom_(0) {
+    std::size_t cap = 8;
+    while (cap < initial_capacity) cap <<= 1;
+    buffer_.store(new Buffer(cap), std::memory_order_relaxed);
+  }
+  ~WsDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner only. Pushes a value at the bottom; grows if full.
+  void push(T v) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, v);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Pops the most recently pushed value (LIFO — best cache
+  /// locality, matching GHC's spark-pool behaviour for the owner).
+  std::optional<T> pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T v = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return v;
+  }
+
+  /// Any thread. Steals the oldest value (FIFO — steals the biggest,
+  /// oldest sparks first, which is the behaviour GHC wants).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T v = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return std::nullopt;  // lost the race
+    return v;
+  }
+
+  /// Approximate size (exact when quiescent).
+  std::size_t size() const {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Owner only, and only while all thieves are stopped (GC root walking):
+  /// applies `f` to every element slot in place.
+  template <typename F>
+  void for_each_slot(F&& f) {
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    for (std::int64_t i = t; i < b; ++i) {
+      T v = buf->get(i);
+      f(v);
+      buf->put(i, v);
+    }
+  }
+
+ private:
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* nb = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) nb->put(i, old->get(i));
+    buffer_.store(nb, std::memory_order_release);
+    // Thieves may still be reading the old buffer; retire it until the
+    // deque itself is destroyed (bounded: each retirement doubles size).
+    retired_.push_back(old);
+    return nb;
+  }
+
+  std::atomic<std::int64_t> top_;
+  std::atomic<std::int64_t> bottom_;
+  std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;
+};
+
+}  // namespace ph

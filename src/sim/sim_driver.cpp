@@ -1,0 +1,238 @@
+#include "sim/sim_driver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ph {
+
+SimDriver::SimDriver(Machine& m, CostModel cost, TraceLog* trace)
+    : m_(m), cost_(cost), trace_(trace), caps_(m.n_caps()) {}
+
+void SimDriver::charge(std::uint32_t ci, std::uint64_t cost, CapState state) {
+  CapSim& cs = caps_[ci];
+  if (trace_ != nullptr) trace_->record(ci, cs.time, cs.time + cost, state);
+  cs.time += cost;
+}
+
+SimResult SimDriver::run(Tso* main_tso) {
+  main_done_ = false;
+  deadlocked_ = false;
+  result_ = SimResult{};
+  while (!main_done_ && !deadlocked_) {
+    // Pick the capability with the smallest clock that is not parked at
+    // the GC barrier.
+    std::uint32_t best = m_.n_caps();
+    std::uint64_t best_time = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t i = 0; i < m_.n_caps(); ++i) {
+      if (caps_[i].arrived) continue;
+      if (caps_[i].time < best_time) {
+        best_time = caps_[i].time;
+        best = i;
+      }
+    }
+    if (best == m_.n_caps()) {
+      // Everyone is at the barrier: run the collection.
+      finish_gc();
+      continue;
+    }
+    slice(best, main_tso);
+  }
+  result_.makespan = 0;
+  for (const CapSim& cs : caps_) result_.makespan = std::max(result_.makespan, cs.time);
+  // On a clean finish the makespan is the main thread's finish time, which
+  // is the clock of the capability that ran it; other caps may have idled
+  // beyond it, so prefer the finisher's clock when available.
+  result_.value = main_tso->result;
+  result_.deadlocked = deadlocked_;
+  for (std::size_t i = 0; i < m_.tso_count(); ++i)
+    result_.mutator_steps += m_.tso(static_cast<ThreadId>(i))->steps;
+  return result_;
+}
+
+void SimDriver::slice(std::uint32_t ci, Tso* main_tso) {
+  CapSim& cs = caps_[ci];
+  Capability& c = m_.cap(ci);
+
+  if (hook_) {
+    if (hook_(ci, cs.time)) idle_streak_ = 0;
+  }
+
+  if (cs.active == nullptr) {
+    Tso* t = m_.schedule_next(c);
+    if (t == nullptr && m_.config().work == WorkPolicy::Steal) {
+      t = m_.try_steal(c);
+      charge(ci, t != nullptr ? cost_.steal_hit : cost_.steal_miss, CapState::Sync);
+    }
+    if (t != nullptr) {
+      idle_streak_ = 0;
+      c.idle = false;
+      cs.active = t;
+      t->state = ThreadState::Running;
+      // A brand-new thread (spark conversion / fresh spawn) pays creation
+      // cost on top of the dispatch switch.
+      charge(ci, cost_.context_switch + (t->steps == 0 ? cost_.thread_create : 0),
+             CapState::Sync);
+      return;
+    }
+    idle_tick(ci);
+    return;
+  }
+  idle_streak_ = 0;
+  run_mutator(ci, main_tso);
+}
+
+void SimDriver::idle_tick(std::uint32_t ci) {
+  CapSim& cs = caps_[ci];
+  Capability& c = m_.cap(ci);
+  c.idle = true;
+  // An idle capability reaches the GC barrier immediately.
+  if (gc_pending()) {
+    arrive_at_barrier(ci);
+    return;
+  }
+  const bool has_blocked = c.n_blocked.load(std::memory_order_relaxed) > 0;
+  charge(ci, cost_.idle_poll, has_blocked ? CapState::Blocked : CapState::Idle);
+
+  // Deadlock heuristic: every capability idled several consecutive times
+  // with no runnable work, no sparks and no pending external events.
+  idle_streak_++;
+  if (idle_streak_ > 4ull * m_.n_caps()) {
+    bool any_active = false;
+    for (const CapSim& k : caps_)
+      if (k.active != nullptr) any_active = true;
+    if (!any_active && !m_.work_anywhere() && !gc_pending()) {
+      if (pending_) {
+        if (auto next = pending_()) {
+          // External events still in flight: fast-forward to them.
+          cs.time = std::max(cs.time, *next);
+          idle_streak_ = 0;
+          return;
+        }
+      }
+      deadlocked_ = true;
+    }
+  }
+}
+
+void SimDriver::run_mutator(std::uint32_t ci, Tso* main_tso) {
+  CapSim& cs = caps_[ci];
+  Capability& c = m_.cap(ci);
+  Tso* t = cs.active;
+  const RtsConfig& cfg = m_.config();
+  const std::uint64_t start = cs.time;
+  std::uint64_t elapsed = 0;
+
+  auto end_run_segment = [&]() {
+    if (trace_ != nullptr) trace_->record(ci, start, start + elapsed, CapState::Run);
+    cs.time = start + elapsed;
+  };
+
+  // Execute at most sim_slice_steps per slice so that heap effects become
+  // visible to the other capabilities at fine virtual-time granularity; a
+  // context switch still only happens when the full quantum is spent.
+  const std::uint32_t budget =
+      std::min<std::uint32_t>(cost_.sim_slice_steps, cfg.quantum_steps - cs.quantum_used);
+  for (std::uint32_t steps = 0; steps < budget; ++steps) {
+    cs.quantum_used++;
+    // Improved barrier: interrupted at every safe point (each step).
+    if (gc_pending() && cfg.barrier == BarrierPolicy::Improved) {
+      end_run_segment();
+      charge(ci, cost_.barrier_signal, CapState::Sync);
+      arrive_at_barrier(ci);
+      return;
+    }
+    const std::uint64_t debt_before = c.alloc_debt;
+    const StepOutcome out = m_.step(c, *t);
+    elapsed += cost_.step;
+    if (c.alloc_debt > debt_before)
+      elapsed += ((c.alloc_debt - debt_before) * cost_.alloc_per_4words) / 4;
+
+    // Allocation check (GHC: every 4kB block): the only safe point at
+    // which a Naive-barrier mutator notices a pending GC. Note that lazy
+    // black-holing does NOT happen here — in GHC 6.x thunks were marked
+    // only at genuine context switches, which is exactly why duplicate
+    // evaluation was so visible in the paper's Fig. 5.
+    if (c.alloc_debt >= cfg.alloc_check_words) {
+      c.alloc_debt = 0;
+      if (gc_pending() && cfg.barrier == BarrierPolicy::Naive) {
+        end_run_segment();
+        arrive_at_barrier(ci);
+        return;
+      }
+    }
+
+    switch (out) {
+      case StepOutcome::Ok:
+        continue;
+      case StepOutcome::NeedGc:
+        // This capability cannot allocate: it is at the barrier now; the
+        // active thread will retry its step after the collection.
+        end_run_segment();
+        arrive_at_barrier(ci);
+        return;
+      case StepOutcome::Blocked:
+        m_.blackhole_pending_updates(c, *t);
+        cs.active = nullptr;
+        cs.quantum_used = 0;
+        end_run_segment();
+        charge(ci, cost_.context_switch, CapState::Sync);
+        return;
+      case StepOutcome::Finished:
+        if (t == main_tso) {
+          end_run_segment();
+          main_done_ = true;
+          return;
+        }
+        if (t->is_spark_thread && m_.spark_thread_continue(c, *t)) {
+          elapsed += cost_.context_switch;  // cheap spark-to-spark switch
+          continue;
+        }
+        cs.active = nullptr;
+        cs.quantum_used = 0;
+        end_run_segment();
+        charge(ci, cost_.context_switch, CapState::Sync);
+        return;
+    }
+  }
+
+  end_run_segment();
+  if (cs.quantum_used < cfg.quantum_steps) return;  // slice boundary only
+
+  // Quantum expired: context switch. The scheduler runs — lazy
+  // black-holing happens here (§IV.A.3), and under PushOnPoll this is the
+  // only moment surplus work gets offloaded (§IV.A.2).
+  m_.blackhole_pending_updates(c, *t);
+  t->state = ThreadState::Runnable;
+  c.push_thread(t);
+  cs.active = nullptr;
+  cs.quantum_used = 0;
+  charge(ci, cost_.context_switch, CapState::Sync);
+  m_.push_work(c);
+}
+
+void SimDriver::arrive_at_barrier(std::uint32_t ci) {
+  CapSim& cs = caps_[ci];
+  cs.arrived = true;
+  cs.arrive_time = cs.time;
+}
+
+void SimDriver::finish_gc() {
+  std::uint64_t gc_start = 0;
+  for (const CapSim& cs : caps_) gc_start = std::max(gc_start, cs.arrive_time);
+  // Everybody waits (yellow) until the last capability arrives...
+  if (trace_ != nullptr)
+    for (std::uint32_t i = 0; i < m_.n_caps(); ++i)
+      trace_->record(i, caps_[i].arrive_time, gc_start, CapState::Sync);
+  // ...then the sequential collector runs while all mutators are stopped.
+  const std::uint64_t copied = m_.collect();
+  const std::uint64_t pause = cost_.gc_fixed + copied * cost_.gc_per_word;
+  result_.gc_count++;
+  result_.gc_pause_total += pause;
+  for (std::uint32_t i = 0; i < m_.n_caps(); ++i) {
+    if (trace_ != nullptr) trace_->record(i, gc_start, gc_start + pause, CapState::Gc);
+    caps_[i].time = gc_start + pause;
+    caps_[i].arrived = false;
+  }
+}
+
+}  // namespace ph

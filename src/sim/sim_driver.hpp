@@ -1,0 +1,87 @@
+// Deterministic virtual-time driver for a shared-heap (GpH) machine.
+//
+// This stands in for the paper's 8-core Intel / 16-core AMD testbeds
+// (which we do not have — see DESIGN.md §2): every capability is advanced
+// under a global virtual clock, and reduction steps, allocation, context
+// switches, steal attempts, the stop-the-world GC barrier and the
+// collection pause itself are charged costs from a CostModel. Scheduling
+// is deterministic, so every figure regenerated from this driver is
+// exactly reproducible.
+//
+// The barrier protocol mirrors §IV.A.1: when any nursery fills, all
+// capabilities must reach a safe point before the (sequential) collector
+// runs. Under BarrierPolicy::Naive a mutator only notices at its next
+// allocation check (every alloc_check_words); under Improved it is
+// interrupted at the next evaluation step.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rts/config.hpp"
+#include "rts/machine.hpp"
+#include "trace/trace.hpp"
+
+namespace ph {
+
+struct SimResult {
+  std::uint64_t makespan = 0;      // virtual time at which `main` finished
+  Obj* value = nullptr;            // main thread's result (WHNF)
+  bool deadlocked = false;
+  std::uint64_t gc_count = 0;
+  std::uint64_t gc_pause_total = 0;  // summed virtual GC pause time
+  std::uint64_t mutator_steps = 0;   // total reduction steps over all TSOs
+};
+
+class SimDriver {
+ public:
+  explicit SimDriver(Machine& m, CostModel cost = {}, TraceLog* trace = nullptr);
+
+  /// Drives all capabilities until `main` finishes (or deadlock).
+  SimResult run(Tso* main_tso);
+
+  /// Extra work performed each slice before scheduling — used by the Eden
+  /// layer to deliver messages at the right virtual time. Returns true if
+  /// it produced new work (resets the idle/deadlock heuristic).
+  using Hook = std::function<bool(std::uint32_t cap, std::uint64_t now)>;
+  void set_slice_hook(Hook h) { hook_ = std::move(h); }
+
+  /// A hook can keep the driver alive while external events (messages from
+  /// other PEs) are still in flight; see EdenSim.
+  using PendingFn = std::function<std::optional<std::uint64_t>()>;
+  void set_pending_fn(PendingFn f) { pending_ = std::move(f); }
+
+  std::uint64_t cap_time(std::uint32_t i) const { return caps_[i].time; }
+
+ private:
+  struct CapSim {
+    Tso* active = nullptr;
+    std::uint64_t time = 0;
+    bool arrived = false;          // parked at the GC barrier
+    std::uint64_t arrive_time = 0;
+    std::uint32_t quantum_used = 0;  // steps of the active thread's quantum spent
+  };
+
+  void slice(std::uint32_t ci, Tso* main_tso);
+  void run_mutator(std::uint32_t ci, Tso* main_tso);
+  void idle_tick(std::uint32_t ci);
+  void arrive_at_barrier(std::uint32_t ci);
+  void finish_gc();
+  bool gc_pending() const { return m_.heap().gc_requested(); }
+  void charge(std::uint32_t ci, std::uint64_t cost, CapState state);
+
+  Machine& m_;
+  CostModel cost_;
+  TraceLog* trace_;
+  std::vector<CapSim> caps_;
+  Hook hook_;
+  PendingFn pending_;
+  std::uint64_t idle_streak_ = 0;
+  bool main_done_ = false;
+  bool deadlocked_ = false;
+  SimResult result_;
+};
+
+}  // namespace ph

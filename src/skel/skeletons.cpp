@@ -1,0 +1,173 @@
+#include "skel/skeletons.hpp"
+
+#include "rts/marshal.hpp"
+
+namespace ph::skel {
+namespace {
+
+/// Eden's default round-robin placement: process i on PE (i+1) mod n.
+std::uint32_t pe_of(const EdenSystem& sys, std::size_t i) {
+  return static_cast<std::uint32_t>((i + 1) % sys.n_pes());
+}
+
+/// Sequential instantiation by the parent: process i becomes runnable
+/// only after i+1 spawn latencies (visible as staggered starts in the
+/// paper's Eden traces).
+std::uint64_t spawn_delay(const EdenSystem& sys, std::size_t i) {
+  return (static_cast<std::uint64_t>(i) + 1) * sys.cost().spawn_process;
+}
+
+}  // namespace
+
+Tso* root_apply(EdenSystem& sys, GlobalId g, const std::vector<Obj*>& args) {
+  return sys.pe(0).spawn_apply(g, args, 0);
+}
+
+Obj* par_map(EdenSystem& sys, GlobalId f, const std::vector<Obj*>& tasks,
+             bool stream_inputs, bool stream_outputs) {
+  // Channel creation allocates placeholders in PE heaps and may collect;
+  // the caller's task objects must stay rooted throughout the wiring.
+  std::vector<Obj*> protect = tasks;
+  RootGuard guard(sys.pe(0), protect);
+  std::vector<Obj*> results;
+  results.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::uint32_t pe = pe_of(sys, i);
+    auto in_ch = sys.new_channel(pe);
+    auto out_ch = sys.new_channel(0);
+    if (stream_outputs)
+      sys.spawn_process_stream(pe, f, {sys.placeholder_of(in_ch)}, out_ch,
+                               spawn_delay(sys, i));
+    else
+      sys.spawn_process_value(pe, f, {sys.placeholder_of(in_ch)}, out_ch,
+                              spawn_delay(sys, i));
+    if (stream_inputs)
+      sys.spawn_sender_stream(0, protect[i], in_ch, spawn_delay(sys, i));
+    else
+      sys.spawn_sender_value(0, protect[i], in_ch, spawn_delay(sys, i));
+    results.push_back(sys.placeholder_of(out_ch));
+  }
+  return make_list(sys.pe(0), 0, results);
+}
+
+Obj* par_reduce_partials(EdenSystem& sys, GlobalId worker_fold,
+                         const std::vector<Obj*>& chunks) {
+  return par_map(sys, worker_fold, chunks);
+}
+
+Obj* par_map_reduce(EdenSystem& sys, GlobalId map_reduce_worker,
+                    const std::vector<Obj*>& chunks) {
+  return par_map(sys, map_reduce_worker, chunks);
+}
+
+Obj* master_worker(EdenSystem& sys, GlobalId f, const std::vector<Obj*>& tasks,
+                   std::uint32_t n_workers) {
+  Machine& pe0 = sys.pe(0);
+  const GlobalId map_g = pe0.program().find("map");
+  const GlobalId rr_g = pe0.program().find("rrMerge");
+
+  std::vector<Obj*> protect = tasks;  // keep tasks alive across allocation
+  RootGuard task_guard(pe0, protect);
+
+  // Round-robin distribution into one task stream per worker (indices into
+  // the protected vector: the objects may move across collections).
+  std::vector<std::vector<std::size_t>> per_worker(n_workers);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    per_worker[i % n_workers].push_back(i);
+
+  std::vector<Obj*> result_streams;
+  for (std::uint32_t w = 0; w < n_workers; ++w) {
+    const std::uint32_t pe = pe_of(sys, w);
+    auto in_ch = sys.new_channel(pe);
+    auto out_ch = sys.new_channel(0);
+    // Worker = map f over its incoming task stream, streaming results out.
+    sys.spawn_process_stream(pe, map_g,
+                             {sys.pe(pe).static_fun(f), sys.placeholder_of(in_ch)},
+                             out_ch, spawn_delay(sys, w));
+    std::vector<Obj*> worker_tasks;
+    for (std::size_t i : per_worker[w]) worker_tasks.push_back(protect[i]);
+    Obj* stream = make_list(pe0, 0, worker_tasks);
+    sys.spawn_sender_stream(0, stream, in_ch, spawn_delay(sys, w));
+    result_streams.push_back(sys.placeholder_of(out_ch));
+  }
+  // Master merges the result streams back into task order.
+  std::vector<Obj*> merge_root{make_list(pe0, 0, result_streams)};
+  RootGuard merge_guard(pe0, merge_root);
+  return make_apply_thunk(pe0, 0, rr_g, {merge_root[0]});
+}
+
+Obj* ring(EdenSystem& sys, GlobalId node_f, const std::vector<Obj*>& inputs,
+          const std::vector<std::int64_t>& extra_args, bool stream_inputs,
+          bool stream_outputs) {
+  const std::size_t n = inputs.size();
+  std::vector<Obj*> protect = inputs;  // keep inputs alive across allocation
+  RootGuard guard(sys.pe(0), protect);
+  std::vector<EdenSystem::Channel> ring_ch(n), in_ch(n), out_ch(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t pe = pe_of(sys, i);
+    ring_ch[i] = sys.new_channel(pe);  // stream INTO node i from node i-1
+    in_ch[i] = sys.new_channel(pe);
+    out_ch[i] = sys.new_channel(0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t pe = pe_of(sys, i);
+    Machine& m = sys.pe(pe);
+    std::vector<Obj*> args;
+    for (std::int64_t e : extra_args) args.push_back(make_int(m, 0, e));
+    args.push_back(make_int(m, 0, static_cast<std::int64_t>(i)));  // node index
+    args.push_back(sys.placeholder_of(in_ch[i]));
+    args.push_back(sys.placeholder_of(ring_ch[i]));
+    sys.spawn_process_pair(pe, node_f, args, out_ch[i], stream_outputs,
+                           ring_ch[(i + 1) % n], /*stream2=*/true, spawn_delay(sys, i));
+    if (stream_inputs)
+      sys.spawn_sender_stream(0, protect[i], in_ch[i], spawn_delay(sys, i));
+    else
+      sys.spawn_sender_value(0, protect[i], in_ch[i], spawn_delay(sys, i));
+  }
+  std::vector<Obj*> outs;
+  for (std::size_t i = 0; i < n; ++i) outs.push_back(sys.placeholder_of(out_ch[i]));
+  return make_list(sys.pe(0), 0, outs);
+}
+
+Obj* torus(EdenSystem& sys, GlobalId node_f, std::uint32_t q,
+           const std::vector<Obj*>& inputs_row_major,
+           const std::vector<std::int64_t>& extra_args) {
+  const std::size_t n = static_cast<std::size_t>(q) * q;
+  if (inputs_row_major.size() != n)
+    throw EvalError("torus: need q*q inputs");
+  auto at = [q](std::uint32_t i, std::uint32_t j) { return static_cast<std::size_t>(i) * q + j; };
+  std::vector<Obj*> protect = inputs_row_major;  // rooted across allocation
+  RootGuard guard(sys.pe(0), protect);
+
+  std::vector<EdenSystem::Channel> right_ch(n), down_ch(n), in_ch(n), out_ch(n);
+  for (std::uint32_t i = 0; i < q; ++i)
+    for (std::uint32_t j = 0; j < q; ++j) {
+      const std::uint32_t pe = pe_of(sys, at(i, j));
+      right_ch[at(i, j)] = sys.new_channel(pe);  // stream from left neighbour
+      down_ch[at(i, j)] = sys.new_channel(pe);   // stream from upper neighbour
+      in_ch[at(i, j)] = sys.new_channel(pe);
+      out_ch[at(i, j)] = sys.new_channel(0);
+    }
+  for (std::uint32_t i = 0; i < q; ++i)
+    for (std::uint32_t j = 0; j < q; ++j) {
+      const std::size_t k = at(i, j);
+      const std::uint32_t pe = pe_of(sys, k);
+      Machine& m = sys.pe(pe);
+      std::vector<Obj*> args;
+      for (std::int64_t e : extra_args) args.push_back(make_int(m, 0, e));
+      args.push_back(sys.placeholder_of(in_ch[k]));
+      args.push_back(sys.placeholder_of(right_ch[k]));  // leftIn
+      args.push_back(sys.placeholder_of(down_ch[k]));   // upIn
+      sys.spawn_process_tuple(pe, node_f, args,
+                              {{out_ch[k], false},
+                               {right_ch[at(i, (j + 1) % q)], true},
+                               {down_ch[at((i + 1) % q, j)], true}},
+                              spawn_delay(sys, k));
+      sys.spawn_sender_value(0, protect[k], in_ch[k], spawn_delay(sys, k));
+    }
+  std::vector<Obj*> outs;
+  for (std::size_t k = 0; k < n; ++k) outs.push_back(sys.placeholder_of(out_ch[k]));
+  return make_list(sys.pe(0), 0, outs);
+}
+
+}  // namespace ph::skel

@@ -1,0 +1,77 @@
+// Algorithmic skeletons for the Eden system (paper §II.A): parMap,
+// parReduce, parMapReduce, masterWorker, and the topology skeletons ring
+// and torus.
+//
+// As in real Eden, the skeleton *implementations* are systems programming:
+// they wire process networks out of channels, process instantiations and
+// communication threads. Each skeleton returns objects in PE 0's heap
+// (usually lazy lists of result placeholders); the caller builds the final
+// combining computation on PE 0 and runs it under EdenSimDriver.
+//
+// Process placement follows Eden's default round-robin: process i runs on
+// PE (i+1) mod n_pes, and instantiation is staggered by
+// CostModel::spawn_process per process (the parent spawns sequentially —
+// the "sub-optimal static load balance" visible in the paper's traces).
+//
+// The GpH counterparts of these skeletons are the evaluation strategies in
+// src/gph/prelude.cpp (parList & friends) — per the paper's comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eden/eden.hpp"
+
+namespace ph::skel {
+
+/// parMap f tasks: process i computes `f tasks[i]` remotely. `tasks` are
+/// objects in PE 0's heap; each is shipped to its worker by a sender
+/// thread. Returns the lazy list [result_0, result_1, ...] (placeholders)
+/// in PE 0's heap. stream_inputs/stream_outputs select Trans list
+/// semantics (element-by-element) for the transfers.
+Obj* par_map(EdenSystem& sys, GlobalId f, const std::vector<Obj*>& tasks,
+             bool stream_inputs = false, bool stream_outputs = false);
+
+/// parReduce-style: workers fold their chunk with `worker_fold`
+/// (chunk -> value); returns the list of partial results for the parent
+/// to fold again (the paper's parReduce folds with the same operator).
+Obj* par_reduce_partials(EdenSystem& sys, GlobalId worker_fold,
+                         const std::vector<Obj*>& chunks);
+
+/// parMapReduce for the sumEuler shape: worker computes
+/// `map_reduce_worker chunk` per chunk; the caller reduces the returned
+/// partials list (e.g. with `sum`).
+Obj* par_map_reduce(EdenSystem& sys, GlobalId map_reduce_worker,
+                    const std::vector<Obj*>& chunks);
+
+/// masterWorker f tasks: `n_workers` worker processes each consume a
+/// stream of tasks (distributed round-robin by the master) and stream
+/// back `f task` results; the master merges result streams back into task
+/// order with rrMerge. Returns the merged lazy result list on PE 0.
+Obj* master_worker(EdenSystem& sys, GlobalId f, const std::vector<Obj*>& tasks,
+                   std::uint32_t n_workers);
+
+/// ring skeleton: one process per input, arranged in a ring. Node i
+/// evaluates
+///   node_f extra... i input_i ringIn_i  ->  (output_i, ringOut_i)
+/// where ringOut_i is streamed to node (i+1) mod n. `inputs` live in
+/// PE 0's heap and are sent to the nodes; outputs come back as values.
+/// `extra_args` (small ints etc., marshalled per-PE by the skeleton) are
+/// prepended to every node's argument list.
+/// Returns the list [output_0, ..., output_{n-1}] on PE 0.
+Obj* ring(EdenSystem& sys, GlobalId node_f, const std::vector<Obj*>& inputs,
+          const std::vector<std::int64_t>& extra_args, bool stream_inputs = false,
+          bool stream_outputs = false);
+
+/// torus skeleton (Cannon-style): a q×q grid. Node (i,j) evaluates
+///   node_f extra... input_ij leftIn upIn -> (output_ij, rightOut, downOut)
+/// with rightOut streamed to (i, j+1 mod q) and downOut to (i+1 mod q, j).
+/// Returns the row-major list of outputs on PE 0.
+Obj* torus(EdenSystem& sys, GlobalId node_f, std::uint32_t q,
+           const std::vector<Obj*>& inputs_row_major,
+           const std::vector<std::int64_t>& extra_args);
+
+/// Convenience: spawn the root computation `g args...` on PE 0.
+Tso* root_apply(EdenSystem& sys, GlobalId g, const std::vector<Obj*>& args);
+
+}  // namespace ph::skel

@@ -1,0 +1,68 @@
+// Shared test rig: builds a Program (prelude + extra definitions), hosts a
+// Machine and runs supercombinators to completion under the deterministic
+// simulation driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "gph/prelude.hpp"
+#include "rts/config.hpp"
+#include "rts/machine.hpp"
+#include "rts/marshal.hpp"
+#include "sim/sim_driver.hpp"
+
+namespace ph::test {
+
+struct Rig {
+  Program prog;
+  std::unique_ptr<Machine> m;
+  CostModel cost;
+
+  explicit Rig(const std::function<void(Builder&)>& extra = nullptr,
+               RtsConfig cfg = config_plain(1)) {
+    Builder b(prog);
+    build_prelude(b);
+    if (extra) extra(b);
+    prog.validate();
+    m = std::make_unique<Machine>(prog, cfg);
+  }
+
+  SimResult run_obj_args(const std::string& fn, const std::vector<Obj*>& args,
+                         TraceLog* trace = nullptr) {
+    Tso* t = m->spawn_apply(prog.find(fn), args, 0);
+    SimDriver d(*m, cost, trace);
+    return d.run(t);
+  }
+
+  SimResult run(const std::string& fn, const std::vector<std::int64_t>& args,
+                TraceLog* trace = nullptr) {
+    std::vector<Obj*> objs;
+    objs.reserve(args.size());
+    for (std::int64_t v : args) objs.push_back(make_int(*m, 0, v));
+    return run_obj_args(fn, objs, trace);
+  }
+
+  /// Like run_obj_args but deep-forces the result (for structured data).
+  SimResult run_forced(const std::string& fn, const std::vector<Obj*>& args,
+                       TraceLog* trace = nullptr) {
+    std::vector<Obj*> protect = args;
+    RootGuard guard(*m, protect);
+    Obj* th = make_apply_thunk(*m, 0, prog.find(fn), protect);
+    Tso* t = m->spawn_deep_force(th, 0);
+    SimDriver d(*m, cost, trace);
+    return d.run(t);
+  }
+
+  std::int64_t run_int(const std::string& fn, const std::vector<std::int64_t>& args) {
+    SimResult r = run(fn, args);
+    if (r.deadlocked) throw std::runtime_error("deadlock running " + fn);
+    return read_int(r.value);
+  }
+};
+
+}  // namespace ph::test

@@ -1,0 +1,184 @@
+// Core layer: Program validation, builder scoping errors, pretty
+// printing, and evaluator type-error paths.
+#include <gtest/gtest.h>
+
+#include "rig.hpp"
+
+namespace ph::test {
+namespace {
+
+TEST(Program, RejectsUnboundVariable) {
+  Program p;
+  Expr v;
+  v.tag = ExprTag::Var;
+  v.a = 1;  // only level 0 is bound
+  ExprId body = p.add_expr(v);
+  GlobalId g = p.declare("f", 1);
+  p.define(g, body);
+  EXPECT_THROW(p.validate(), ProgramError);
+}
+
+TEST(Program, RejectsUndefinedGlobal) {
+  Program p;
+  p.declare("f", 1);  // never defined
+  EXPECT_THROW(p.validate(), ProgramError);
+}
+
+TEST(Program, RejectsDuplicateNames) {
+  Program p;
+  p.declare("f", 1);
+  EXPECT_THROW(p.declare("f", 2), ProgramError);
+}
+
+TEST(Program, RejectsBadPrimArity) {
+  Program p;
+  Expr lit;
+  lit.tag = ExprTag::Lit;
+  lit.lit = 1;
+  ExprId l = p.add_expr(lit);
+  Expr prim;
+  prim.tag = ExprTag::Prim;
+  prim.a = static_cast<std::int32_t>(PrimOp::Add);
+  prim.kids = {l};  // Add needs two operands
+  GlobalId g = p.declare("f", 0);
+  p.define(g, p.add_expr(prim));
+  EXPECT_THROW(p.validate(), ProgramError);
+}
+
+TEST(Program, RejectsCaseWithoutAlternatives) {
+  Program p;
+  Expr lit;
+  lit.tag = ExprTag::Lit;
+  ExprId l = p.add_expr(lit);
+  Expr cs;
+  cs.tag = ExprTag::Case;
+  cs.kids = {l};
+  GlobalId g = p.declare("f", 0);
+  p.define(g, p.add_expr(cs));
+  EXPECT_THROW(p.validate(), ProgramError);
+}
+
+TEST(Program, FindUnknownThrows) {
+  Program p;
+  EXPECT_THROW(p.find("nonexistent"), ProgramError);
+  EXPECT_FALSE(p.has("nonexistent"));
+}
+
+TEST(Program, FrozenAfterValidate) {
+  Program p;
+  Builder b(p);
+  b.fun("f", {"x"}, [](Ctx& c) { return c.var("x"); });
+  p.validate();
+  EXPECT_THROW(p.declare("g", 1), ProgramError);
+  Expr e;
+  EXPECT_THROW(p.add_expr(e), ProgramError);
+}
+
+TEST(Builder, UnboundNameThrows) {
+  Program p;
+  Builder b(p);
+  EXPECT_THROW(b.fun("f", {"x"}, [](Ctx& c) { return c.var("y"); }), ProgramError);
+}
+
+TEST(Builder, LetrecBinderCountMismatchThrows) {
+  Program p;
+  Builder b(p);
+  EXPECT_THROW(b.fun("f", {},
+                     [](Ctx& c) {
+                       return c.letrec(
+                           {"a", "b"}, [&] { return std::vector<E>{c.lit(1)}; },
+                           [&] { return c.var("a"); });
+                     }),
+               ProgramError);
+}
+
+TEST(Builder, ShadowingUsesInnermostBinding) {
+  Rig r([](Builder& b) {
+    b.fun("f", {"x"}, [](Ctx& c) {
+      return c.let1("x", c.lit(99), [&] { return c.var("x"); });
+    });
+  });
+  EXPECT_EQ(r.run_int("f", {1}), 99);
+}
+
+TEST(Pretty, ShowsStructure) {
+  Program p;
+  Builder b(p);
+  GlobalId g = b.fun("f", {"x"}, [](Ctx& c) {
+    return c.prim(PrimOp::Add, c.var("x"), c.lit(1));
+  });
+  p.validate();
+  std::string s = p.show_global(g);
+  EXPECT_NE(s.find("f/1"), std::string::npos);
+  EXPECT_NE(s.find("add#"), std::string::npos);
+  EXPECT_NE(s.find("v0"), std::string::npos);
+}
+
+TEST(Pretty, ShowsCaseAltsAndPar) {
+  Program p;
+  Builder b(p);
+  GlobalId g = b.fun("f", {"xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.lit(0); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.par(c.var("h"), c.var("t"));
+                                 }}});
+  });
+  p.validate();
+  std::string s = p.show_global(g);
+  EXPECT_NE(s.find("case"), std::string::npos);
+  EXPECT_NE(s.find("<1/2>"), std::string::npos);
+  EXPECT_NE(s.find("(par"), std::string::npos);
+}
+
+// --- evaluator type-error paths ---------------------------------------------
+
+TEST(EvalErrors, ApplyingIntegerFails) {
+  Rig r([](Builder& b) {
+    b.fun("f", {}, [](Ctx& c) { return c.app(c.lit(3), {c.lit(4)}); });
+  });
+  EXPECT_THROW(r.run_int("f", {}), EvalError);
+}
+
+TEST(EvalErrors, CaseOnFunctionFails) {
+  Rig r([](Builder& b) {
+    b.fun("f", {}, [](Ctx& c) {
+      return c.match(c.global("id"), {Ctx::AltSpec{0, {}, [&] { return c.lit(0); }}});
+    });
+  });
+  EXPECT_THROW(r.run_int("f", {}), EvalError);
+}
+
+TEST(EvalErrors, PrimOnConstructorFails) {
+  Rig r([](Builder& b) {
+    b.fun("f", {}, [](Ctx& c) { return c.prim(PrimOp::Add, c.nil(), c.lit(1)); });
+  });
+  EXPECT_THROW(r.run_int("f", {}), EvalError);
+}
+
+TEST(EvalErrors, ConstructorArityMismatchInCase) {
+  Rig r([](Builder& b) {
+    b.fun("f", {}, [](Ctx& c) {
+      // scrutinee is Cons h t (arity 2) but the alt claims arity 1
+      return c.match(c.cons(c.lit(1), c.nil()),
+                     {Ctx::AltSpec{1, {"h"}, [&] { return c.var("h"); }}});
+    });
+  });
+  EXPECT_THROW(r.run_int("f", {}), EvalError);
+}
+
+TEST(EvalErrors, MachineRequiresValidatedProgram) {
+  Program p;
+  Builder b(p);
+  b.fun("f", {"x"}, [](Ctx& c) { return c.var("x"); });
+  EXPECT_THROW(Machine(p, config_plain(1)), ProgramError);
+}
+
+TEST(EvalErrors, StaticFunVsCafAccessors) {
+  Rig r;
+  EXPECT_NO_THROW(r.m->static_fun(r.prog.find("id")));
+  EXPECT_THROW(r.m->caf_cell(r.prog.find("id")), EvalError);
+}
+
+}  // namespace
+}  // namespace ph::test

@@ -1,0 +1,59 @@
+// Divide-and-conquer workloads: parallel nfib and n-queens.
+#include <gtest/gtest.h>
+
+#include "progs/divconq.hpp"
+#include "rig.hpp"
+
+namespace ph::test {
+namespace {
+
+TEST(DivConq, NfibMatchesReference) {
+  Rig r([](Builder& b) { build_divconq(b); });
+  for (std::int64_t n : {0, 1, 5, 12, 18})
+    EXPECT_EQ(r.run_int("nfib", {n}), nfib_reference(n)) << n;
+}
+
+class NfibPar : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::int64_t>> {};
+
+TEST_P(NfibPar, ThresholdedSparksCorrectEverywhere) {
+  auto [caps, threshold] = GetParam();
+  Rig r([](Builder& b) { build_divconq(b); }, config_worksteal(caps));
+  EXPECT_EQ(r.run_int("nfibPar", {threshold, 16}), nfib_reference(16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NfibPar,
+                         ::testing::Combine(::testing::Values(1u, 4u, 8u),
+                                            ::testing::Values<std::int64_t>(2, 8, 12)));
+
+TEST(DivConq, QueensMatchesReference) {
+  Rig r([](Builder& b) { build_divconq(b); });
+  // 1, 0, 0, 2, 10, 4, 40, 92 solutions for n = 1..8.
+  for (std::int64_t n : {1, 2, 3, 4, 5, 6})
+    EXPECT_EQ(r.run_int("queensSeq", {n}), queens_reference(n)) << n;
+}
+
+TEST(DivConq, QueensParEqualsSeqAndSpeedsUp) {
+  auto run = [](std::uint32_t caps) {
+    Rig r([](Builder& b) { build_divconq(b); }, config_worksteal(caps));
+    SimResult res = r.run("queensPar", {7});
+    EXPECT_EQ(read_int(res.value), queens_reference(7));
+    return res.makespan;
+  };
+  const std::uint64_t t1 = run(1);
+  const std::uint64_t t8 = run(8);
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t8), 2.5);
+}
+
+TEST(DivConq, FineGrainedNfibFloodsButSurvives) {
+  // Threshold 2 on nfib 17 creates thousands of tiny sparks; pool
+  // overflow and fizzling must degrade gracefully, never corrupt.
+  RtsConfig cfg = config_worksteal(4);
+  cfg.spark_pool_capacity = 64;  // force overflow
+  Rig r([](Builder& b) { build_divconq(b); }, cfg);
+  EXPECT_EQ(r.run_int("nfibPar", {2, 17}), nfib_reference(17));
+  SparkStats s = r.m->total_spark_stats();
+  EXPECT_GT(s.overflowed, 0u);
+}
+
+}  // namespace
+}  // namespace ph::test

@@ -1,0 +1,260 @@
+// The distributed-heap (Eden) runtime: graph packing, channels, streams,
+// tuple communication threads, per-PE independent GC.
+#include <gtest/gtest.h>
+
+#include "eden/eden.hpp"
+#include "gph/prelude.hpp"
+#include "progs/sumeuler.hpp"
+#include "rig.hpp"
+
+namespace ph::test {
+namespace {
+
+struct EdenRig {
+  Program prog;
+  std::unique_ptr<EdenSystem> sys;
+
+  explicit EdenRig(std::uint32_t n_pes, std::uint32_t n_cores,
+                   const std::function<void(Builder&)>& extra = nullptr) {
+    Builder b(prog);
+    build_prelude(b);
+    build_sumeuler(b);
+    if (extra) extra(b);
+    prog.validate();
+    EdenConfig cfg;
+    cfg.n_pes = n_pes;
+    cfg.n_cores = n_cores;
+    cfg.pe_rts = config_worksteal_eagerbh(1);
+    sys = std::make_unique<EdenSystem>(prog, cfg);
+  }
+};
+
+// --- packing ----------------------------------------------------------------
+
+TEST(Pack, RoundTripsIntList) {
+  Rig r;
+  Obj* xs = make_int_list(*r.m, 0, {1, 2000, -5, 7});
+  Packet p = pack_graph(xs);
+  Obj* ys = unpack_graph(*r.m, 0, p);
+  EXPECT_EQ(read_int_list(ys), (std::vector<std::int64_t>{1, 2000, -5, 7}));
+  EXPECT_NE(xs, ys);  // a genuine copy
+}
+
+TEST(Pack, PreservesSharing) {
+  Rig r;
+  Obj* shared = make_int(*r.m, 0, 123456);  // big: not a static small int
+  Obj* cell = r.m->alloc_with_gc(0, ObjKind::Con, 0, 2);
+  cell->ptr_payload()[0] = shared;
+  cell->ptr_payload()[1] = shared;
+  Obj* out = unpack_graph(*r.m, 0, pack_graph(cell));
+  EXPECT_EQ(out->ptr_payload()[0], out->ptr_payload()[1]);
+}
+
+TEST(Pack, PreservesCycles) {
+  Rig r;
+  Obj* a = r.m->alloc_with_gc(0, ObjKind::Con, 1, 2);
+  Obj* b = r.m->alloc_with_gc(0, ObjKind::Con, 1, 2);
+  a->ptr_payload()[0] = make_int(*r.m, 0, 1);
+  a->ptr_payload()[1] = b;
+  b->ptr_payload()[0] = make_int(*r.m, 0, 2);
+  b->ptr_payload()[1] = a;
+  Obj* out = unpack_graph(*r.m, 0, pack_graph(a));
+  Obj* out_b = out->ptr_payload()[1];
+  EXPECT_EQ(out_b->ptr_payload()[1], out);
+}
+
+TEST(Pack, ThunksTravelWithTheirCode) {
+  // Pack an unevaluated closure (a process abstraction!), unpack it on a
+  // second machine over the same Program, evaluate both: same answer.
+  Program prog;
+  {
+    Builder b(prog);
+    build_prelude(b);
+    build_sumeuler(b);
+    prog.validate();
+  }
+  Machine m1(prog, config_plain(1));
+  Machine m2(prog, config_plain(1));
+  // A thunk for (sumPhi [1..12]) in m1's heap.
+  Obj* arg = make_int_list(m1, 0, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  Obj* th = m1.alloc_with_gc(0, ObjKind::Thunk, 0, 2);
+  const Global& g = prog.global(prog.find("sumPhi"));
+  // Build thunk body = sumPhi applied to env[0]: reuse the function's own
+  // body with a 1-slot environment.
+  th->payload()[0] = static_cast<Word>(g.body);
+  th->ptr_payload()[1] = arg;
+  Packet p = pack_graph(th);
+  Obj* th2 = unpack_graph(m2, 0, p);
+
+  auto run_on = [&](Machine& m, Obj* root) {
+    Tso* t = m.spawn_enter(root, 0);
+    SimDriver d(m);
+    return read_int(d.run(t).value);
+  };
+  const std::int64_t v1 = run_on(m1, th);
+  const std::int64_t v2 = run_on(m2, th2);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(v1, sum_euler_reference(12));
+}
+
+TEST(Pack, RefusesPlaceholdersAndBlackHoles) {
+  Rig r;
+  Obj* ph = r.m->new_placeholder(0, 0);
+  EXPECT_THROW(pack_graph(ph), PackError);
+  Obj* bh = r.m->alloc_with_gc(0, ObjKind::BlackHole, 0, 1);
+  bh->payload()[0] = kNoQueue;
+  EXPECT_THROW(pack_graph(bh), PackError);
+}
+
+TEST(Pack, SurvivesGcDuringUnpack) {
+  RtsConfig cfg = config_plain(1);
+  cfg.heap.nursery_words = 2048;  // force collections during unpack
+  Rig r(nullptr, cfg);
+  std::vector<std::int64_t> big;
+  for (int i = 0; i < 3000; ++i) big.push_back(i * 7);
+  Obj* xs = make_int_list(*r.m, 0, big);
+  std::vector<Obj*> protect{xs};
+  RootGuard guard(*r.m, protect);
+  Packet p = pack_graph(protect[0]);
+  Obj* ys = unpack_graph(*r.m, 0, p);
+  EXPECT_EQ(read_int_list(ys), big);
+}
+
+// --- channels & processes ------------------------------------------------------
+
+TEST(Eden, RemoteProcessSendsValue) {
+  EdenRig e(2, 2);
+  auto out = e.sys->new_channel(0);
+  Obj* arg = make_int(e.sys->pe(1), 0, 20);
+  e.sys->spawn_process_value(1, e.prog.find("phi"), {arg}, out,
+                             e.sys->cost().spawn_process);
+  Tso* root = e.sys->pe(0).spawn_enter(e.sys->placeholder_of(out), 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult res = d.run(root);
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), 8);  // phi(20) = 8
+  EXPECT_GE(res.messages, 1u);
+}
+
+TEST(Eden, StreamedListArrivesInOrder) {
+  EdenRig e(2, 2, [](Builder& b) {
+    b.fun("phis", {"n"}, [](Ctx& c) {
+      return c.app("map", {c.global("phi"), c.app("enumFromTo", {c.lit(1), c.var("n")})});
+    });
+  });
+  auto out = e.sys->new_channel(0);
+  Obj* arg = make_int(e.sys->pe(1), 0, 12);
+  e.sys->spawn_process_stream(1, e.prog.find("phis"), {arg}, out, 100);
+  // The consumer sums the stream as it arrives.
+  Tso* root = e.sys->pe(0).spawn_apply(e.prog.find("sum"),
+                                       {e.sys->placeholder_of(out)}, 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult res = d.run(root);
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(12));
+  EXPECT_GE(res.messages, 13u);  // 12 elements + close
+}
+
+TEST(Eden, ParentStreamsInputsToChild) {
+  EdenRig e(2, 2);
+  // Parent (PE0) streams a list to the child; child sums it and sends the
+  // total back as a single value.
+  auto to_child = e.sys->new_channel(1);
+  auto to_parent = e.sys->new_channel(0);
+  e.sys->spawn_process_value(1, e.prog.find("sum"),
+                             {e.sys->placeholder_of(to_child)}, to_parent, 100);
+  Obj* xs = make_int_list(e.sys->pe(0), 0, {5, 10, 15, 20});
+  e.sys->spawn_sender_stream(0, xs, to_child, 0);
+  Tso* root = e.sys->pe(0).spawn_enter(e.sys->placeholder_of(to_parent), 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult res = d.run(root);
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), 50);
+}
+
+TEST(Eden, PairProcessSendsComponentsIndependently) {
+  EdenRig e(2, 2, [](Builder& b) {
+    // sumAndSquares n = (sum [1..n], map (^2) [1..n])
+    b.fun("sq", {"x"}, [](Ctx& c) { return c.prim(PrimOp::Mul, c.var("x"), c.var("x")); });
+    b.fun("sumAndSquares", {"n"}, [](Ctx& c) {
+      return c.let1("xs", c.app("enumFromTo", {c.lit(1), c.var("n")}), [&] {
+        return c.pair(c.app("sum", {c.var("xs")}),
+                      c.app("map", {c.global("sq"), c.var("xs")}));
+      });
+    });
+    // combine a bs = a + sum bs
+    b.fun("combine", {"a", "bs"}, [](Ctx& c) {
+      return c.prim(PrimOp::Add, c.var("a"), c.app("sum", {c.var("bs")}));
+    });
+  });
+  auto out_v = e.sys->new_channel(0);
+  auto out_s = e.sys->new_channel(0);
+  Obj* arg = make_int(e.sys->pe(1), 0, 10);
+  e.sys->spawn_process_pair(1, e.prog.find("sumAndSquares"), {arg}, out_v,
+                            /*stream1=*/false, out_s, /*stream2=*/true, 100);
+  Tso* root = e.sys->pe(0).spawn_apply(
+      e.prog.find("combine"),
+      {e.sys->placeholder_of(out_v), e.sys->placeholder_of(out_s)}, 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult res = d.run(root);
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), 55 + 385);
+}
+
+TEST(Eden, PerPeGcIsIndependent) {
+  EdenRig e(4, 4);
+  // Give each PE a tiny nursery; collections must happen per-PE with no
+  // barrier (the distributed-heap advantage of §VI.A).
+  Program prog2;
+  {
+    Builder b(prog2);
+    build_prelude(b);
+    build_sumeuler(b);
+    prog2.validate();
+  }
+  EdenConfig cfg;
+  cfg.n_pes = 4;
+  cfg.n_cores = 4;
+  cfg.pe_rts = config_worksteal_eagerbh(1);
+  cfg.pe_rts.heap.nursery_words = 2048;
+  EdenSystem sys(prog2, cfg);
+  std::vector<EdenSystem::Channel> outs;
+  for (std::uint32_t w = 1; w < 4; ++w) {
+    auto out = sys.new_channel(0);
+    Obj* arg = make_int(sys.pe(w), 0, 30 + static_cast<std::int64_t>(w));
+    sys.spawn_process_value(w, prog2.find("sumEulerSeq"), {arg}, out, 100 * w);
+    outs.push_back(out);
+  }
+  Obj* phs = make_list(sys.pe(0), 0,
+                       {sys.placeholder_of(outs[0]), sys.placeholder_of(outs[1]),
+                        sys.placeholder_of(outs[2])});
+  Tso* root = sys.pe(0).spawn_apply(prog2.find("sum"), {phs}, 0);
+  EdenSimDriver d(sys);
+  EdenSimResult res = d.run(root);
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(31) + sum_euler_reference(32) +
+                                     sum_euler_reference(33));
+  EXPECT_GT(res.gc_count, 3u);  // collections happened on the workers
+}
+
+TEST(Eden, MorePesThanCoresStillCorrect) {
+  EdenRig e(5, 2);  // 5 virtual PEs time-sliced onto 2 cores
+  std::vector<Obj*> phs;
+  for (std::uint32_t w = 1; w < 5; ++w) {
+    auto out = e.sys->new_channel(0);
+    Obj* arg = make_int(e.sys->pe(w), 0, static_cast<std::int64_t>(10 * w));
+    e.sys->spawn_process_value(w, e.prog.find("sumEulerSeq"), {arg}, out, 50 * w);
+    phs.push_back(e.sys->placeholder_of(out));
+  }
+  Obj* lst = make_list(e.sys->pe(0), 0, phs);
+  Tso* root = e.sys->pe(0).spawn_apply(e.prog.find("sum"), {lst}, 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult res = d.run(root);
+  ASSERT_FALSE(res.deadlocked);
+  std::int64_t expect = 0;
+  for (int w = 1; w < 5; ++w) expect += sum_euler_reference(10 * w);
+  EXPECT_EQ(read_int(res.value), expect);
+}
+
+}  // namespace
+}  // namespace ph::test

@@ -1,0 +1,183 @@
+// Eden edge cases: per-channel FIFO ordering, stream demand-driven
+// production, virtual-PE multiplexing fairness, deadlock detection,
+// large streams under GC pressure, message accounting.
+#include <gtest/gtest.h>
+
+#include "eden/eden.hpp"
+#include "progs/all.hpp"
+#include "rig.hpp"
+#include "skel/skeletons.hpp"
+
+namespace ph::test {
+namespace {
+
+struct EdgeRig {
+  Program prog;
+  std::unique_ptr<EdenSystem> sys;
+
+  explicit EdgeRig(std::uint32_t n_pes, std::uint32_t n_cores,
+                   const std::function<void(Builder&)>& extra = nullptr,
+                   std::size_t nursery = 64 * 1024) {
+    Builder b(prog);
+    build_all_programs(b);
+    if (extra) extra(b);
+    prog.validate();
+    EdenConfig cfg;
+    cfg.n_pes = n_pes;
+    cfg.n_cores = n_cores;
+    cfg.pe_rts = config_worksteal_eagerbh(1);
+    cfg.pe_rts.heap.nursery_words = nursery;
+    sys = std::make_unique<EdenSystem>(prog, cfg);
+  }
+};
+
+TEST(EdenEdge, StreamElementsKeepOrderDespiteSizeSkew) {
+  // Elements of wildly different sizes must arrive in order: a big list
+  // element takes longer "on the wire" than the following small ones, so
+  // FIFO per channel is what keeps the stream coherent.
+  EdgeRig e(2, 2, [](Builder& b) {
+    // produce [[1..50], [7], [1..30], [9]] as a stream of lists
+    b.fun("mixed", {}, [](Ctx& c) {
+      return c.cons(
+          c.app("enumFromTo", {c.lit(1), c.lit(50)}),
+          c.cons(c.cons(c.lit(7), c.nil()),
+                 c.cons(c.app("enumFromTo", {c.lit(1), c.lit(30)}),
+                        c.cons(c.cons(c.lit(9), c.nil()), c.nil()))));
+    });
+    b.fun("headsOf", {"xss"}, [](Ctx& c) {
+      return c.app("map", {c.global("head"), c.var("xss")});
+    });
+  });
+  auto out = e.sys->new_channel(0);
+  e.sys->spawn_process_stream(1, e.prog.find("mixed"), {}, out, 100);
+  Machine& pe0 = e.sys->pe(0);
+  std::vector<Obj*> protect{e.sys->placeholder_of(out)};
+  RootGuard guard(pe0, protect);
+  Obj* th = make_apply_thunk(pe0, 0, e.prog.find("headsOf"), {protect[0]});
+  Tso* root = pe0.spawn_deep_force(th, 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult r = d.run(root);
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(read_int_list(r.value), (std::vector<std::int64_t>{1, 7, 1, 9}));
+}
+
+TEST(EdenEdge, ConsumerTakesPrefixOfInfiniteStream) {
+  // A producer streaming an infinite list must not prevent the consumer
+  // from finishing after a finite prefix (process abandoned at shutdown).
+  EdgeRig e(2, 2, [](Builder& b) {
+    b.fun("nats", {"start"}, [](Ctx& c) {
+      return c.cons(c.var("start"),
+                    c.app("nats", {c.prim(PrimOp::Add, c.var("start"), c.lit(1))}));
+    });
+    b.fun("firstTen", {"xs"}, [](Ctx& c) {
+      return c.app("sum", {c.app("take", {c.lit(10), c.var("xs")})});
+    });
+  });
+  auto out = e.sys->new_channel(0);
+  Obj* start = make_int(e.sys->pe(1), 0, 5);
+  e.sys->spawn_process_stream(1, e.prog.find("nats"), {start}, out, 100);
+  Tso* root = e.sys->pe(0).spawn_apply(e.prog.find("firstTen"),
+                                       {e.sys->placeholder_of(out)}, 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult r = d.run(root);
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(read_int(r.value), 5 + 6 + 7 + 8 + 9 + 10 + 11 + 12 + 13 + 14);
+}
+
+TEST(EdenEdge, MissingProducerIsDetectedAsDeadlock) {
+  EdgeRig e(2, 2);
+  auto out = e.sys->new_channel(0);  // nobody will ever send here
+  Tso* root = e.sys->pe(0).spawn_enter(e.sys->placeholder_of(out), 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult r = d.run(root);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(EdenEdge, ManyPesFewCoresFairMultiplexing) {
+  // 12 equal processes on 3 cores: every PE must get compute time and the
+  // result must be exact.
+  EdgeRig e(13, 3);
+  std::vector<Obj*> tasks;
+  Machine& pe0 = e.sys->pe(0);
+  for (int i = 0; i < 12; ++i)
+    tasks.push_back(make_int_list(pe0, 0, {30 + i, 31 + i, 32 + i}));
+  Obj* results = skel::par_map(*e.sys, e.prog.find("sumPhi"), tasks);
+  Tso* root = skel::root_apply(*e.sys, e.prog.find("sum"), {results});
+  TraceLog trace(13);
+  EdenSimDriver d(*e.sys, &trace);
+  EdenSimResult r = d.run(root);
+  ASSERT_FALSE(r.deadlocked);
+  std::int64_t expect = 0;
+  auto phi = [](std::int64_t k) {
+    return sum_euler_reference(k) - sum_euler_reference(k - 1);
+  };
+  for (int i = 0; i < 12; ++i) expect += phi(30 + i) + phi(31 + i) + phi(32 + i);
+  EXPECT_EQ(read_int(r.value), expect);
+  for (std::uint32_t pe = 1; pe <= 12; ++pe)
+    EXPECT_GT(trace.fraction(pe, CapState::Run), 0.0) << "PE " << pe << " starved";
+}
+
+TEST(EdenEdge, BigStreamUnderTinyNurseries) {
+  // 300 streamed elements through PEs with 4k-word nurseries: dozens of
+  // per-PE collections while placeholders chain through the heap.
+  EdgeRig e(2, 2, nullptr, /*nursery=*/4096);
+  auto to_child = e.sys->new_channel(1);
+  auto to_parent = e.sys->new_channel(0);
+  e.sys->spawn_process_value(1, e.prog.find("sum"),
+                             {e.sys->placeholder_of(to_child)}, to_parent, 100);
+  std::vector<std::int64_t> xs(3000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<std::int64_t>(i);
+  Obj* list = make_int_list(e.sys->pe(0), 0, xs);
+  e.sys->spawn_sender_stream(0, list, to_child, 0);
+  Tso* root = e.sys->pe(0).spawn_enter(e.sys->placeholder_of(to_parent), 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult r = d.run(root);
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(read_int(r.value), 3000LL * 2999 / 2);
+  EXPECT_GE(r.messages, 3001u);
+  std::uint64_t collections = 0;
+  for (std::uint32_t pe = 0; pe < 2; ++pe) {
+    const GcStats& gs = e.sys->pe(pe).heap().stats();
+    collections += gs.minor_collections + gs.major_collections;
+  }
+  EXPECT_GT(collections, 5u);
+}
+
+TEST(EdenEdge, MessageAndWordAccounting) {
+  EdgeRig e(2, 2);
+  auto out = e.sys->new_channel(0);
+  Obj* arg = make_int(e.sys->pe(1), 0, 15);
+  e.sys->spawn_process_value(1, e.prog.find("phi"), {arg}, out, 100);
+  Tso* root = e.sys->pe(0).spawn_enter(e.sys->placeholder_of(out), 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult r = d.run(root);
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(e.sys->messages_sent(), r.messages);
+  EXPECT_GT(e.sys->words_sent(), 0u);
+}
+
+TEST(EdenEdge, TwoLevelProcessChain) {
+  // parent -> middle (doubles each element, streams) -> leaf (sums).
+  EdgeRig e(3, 3, [](Builder& b) {
+    b.fun("doubleAll", {"xs"}, [](Ctx& c) {
+      return c.app("map", {c.global("dbl"), c.var("xs")});
+    });
+  });
+  auto to_mid = e.sys->new_channel(1);
+  auto mid_to_leaf = e.sys->new_channel(2);
+  auto to_parent = e.sys->new_channel(0);
+  e.sys->spawn_process_stream(1, e.prog.find("doubleAll"),
+                              {e.sys->placeholder_of(to_mid)}, mid_to_leaf, 100);
+  e.sys->spawn_process_value(2, e.prog.find("sum"),
+                             {e.sys->placeholder_of(mid_to_leaf)}, to_parent, 200);
+  Obj* xs = make_int_list(e.sys->pe(0), 0, {1, 2, 3, 4, 5});
+  e.sys->spawn_sender_stream(0, xs, to_mid, 0);
+  Tso* root = e.sys->pe(0).spawn_enter(e.sys->placeholder_of(to_parent), 0);
+  EdenSimDriver d(*e.sys);
+  EdenSimResult r = d.run(root);
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(read_int(r.value), 30);
+}
+
+}  // namespace
+}  // namespace ph::test

@@ -1,0 +1,67 @@
+// RTS flag parser: GHC-style configuration strings.
+#include <gtest/gtest.h>
+
+#include "rts/flags.hpp"
+
+namespace ph {
+namespace {
+
+TEST(Flags, ParsesCoreFlags) {
+  RtsConfig c = parse_rts_flags("-N8 -A512k -C1000 -qB -qs -qe -qT -S4096");
+  EXPECT_EQ(c.n_caps, 8u);
+  EXPECT_EQ(c.heap.nursery_words, 512u * 1024 / sizeof(Word));
+  EXPECT_EQ(c.quantum_steps, 1000u);
+  EXPECT_EQ(c.barrier, BarrierPolicy::Improved);
+  EXPECT_EQ(c.work, WorkPolicy::Steal);
+  EXPECT_EQ(c.blackhole, BlackholePolicy::Eager);
+  EXPECT_EQ(c.sparkrun, SparkRunPolicy::SparkThread);
+  EXPECT_EQ(c.spark_pool_capacity, 4096u);
+}
+
+TEST(Flags, SizeSuffixes) {
+  EXPECT_EQ(parse_rts_flags("-A4096").heap.nursery_words, 4096u / sizeof(Word));
+  EXPECT_EQ(parse_rts_flags("-A64k").heap.nursery_words, 64u * 1024 / sizeof(Word));
+  EXPECT_EQ(parse_rts_flags("-A4m").heap.nursery_words, 4u * 1024 * 1024 / sizeof(Word));
+  EXPECT_EQ(parse_rts_flags("-H1g").heap.old_words, 1024ull * 1024 * 1024 / sizeof(Word));
+}
+
+TEST(Flags, DefaultsPreservedWhenNotMentioned) {
+  RtsConfig base = config_worksteal(4);
+  RtsConfig c = parse_rts_flags("-N2", base);
+  EXPECT_EQ(c.n_caps, 2u);
+  EXPECT_EQ(c.work, WorkPolicy::Steal);           // from base
+  EXPECT_EQ(c.sparkrun, SparkRunPolicy::SparkThread);
+}
+
+TEST(Flags, RejectsMalformedFlags) {
+  EXPECT_THROW(parse_rts_flags("-N"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-N0"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-Nx"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-A12q"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-A1kk"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-A64"), FlagError);  // below minimum area
+  EXPECT_THROW(parse_rts_flags("-qx"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-Z9"), FlagError);
+  EXPECT_THROW(parse_rts_flags("N8"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-C0"), FlagError);
+}
+
+TEST(Flags, ShowRoundTrips) {
+  RtsConfig c = parse_rts_flags("-N16 -A256k -C500 -qb -qp -ql -qt");
+  RtsConfig c2 = parse_rts_flags(show_rts_flags(c));
+  EXPECT_EQ(c2.n_caps, c.n_caps);
+  EXPECT_EQ(c2.heap.nursery_words, c.heap.nursery_words);
+  EXPECT_EQ(c2.quantum_steps, c.quantum_steps);
+  EXPECT_EQ(c2.barrier, c.barrier);
+  EXPECT_EQ(c2.work, c.work);
+  EXPECT_EQ(c2.blackhole, c.blackhole);
+  EXPECT_EQ(c2.sparkrun, c.sparkrun);
+}
+
+TEST(Flags, EmptyStringIsDefaults) {
+  RtsConfig c = parse_rts_flags("");
+  EXPECT_EQ(c.n_caps, RtsConfig{}.n_caps);
+}
+
+}  // namespace
+}  // namespace ph

@@ -1,0 +1,199 @@
+// Parallel runtime semantics under the virtual-time driver: purity across
+// schedules, genuine virtual-time speedup, GC under pressure, spark
+// accounting, black-holing policies, deadlock detection.
+#include <gtest/gtest.h>
+
+#include "progs/sumeuler.hpp"
+#include "rig.hpp"
+
+namespace ph::test {
+namespace {
+
+class ParallelConfigs : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+RtsConfig config_by_index(int idx, std::uint32_t caps) {
+  switch (idx) {
+    case 0: return config_plain(caps);
+    case 1: return config_bigalloc(caps);
+    case 2: return config_gcsync(caps);
+    case 3: return config_worksteal(caps);
+    default: return config_worksteal_eagerbh(caps);
+  }
+}
+
+// Purity: every runtime configuration and core count computes the same
+// value (the paper's programs are deterministic regardless of schedule).
+TEST_P(ParallelConfigs, SumEulerSameResultEverywhere) {
+  auto [cfg_idx, caps] = GetParam();
+  Rig r([](Builder& b) { build_sumeuler(b); }, config_by_index(cfg_idx, caps));
+  EXPECT_EQ(r.run_int("sumEulerPar", {8, 60}), sum_euler_reference(60));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigsAndCores, ParallelConfigs,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(Parallel, WorkStealingGivesVirtualSpeedup) {
+  auto run = [](std::uint32_t caps) {
+    Rig r([](Builder& b) { build_sumeuler(b); }, config_worksteal(caps));
+    SimResult res = r.run("sumEulerPar", {5, 120});
+    EXPECT_EQ(read_int(res.value), sum_euler_reference(120));
+    return res.makespan;
+  };
+  const std::uint64_t t1 = run(1);
+  const std::uint64_t t4 = run(4);
+  const std::uint64_t t8 = run(8);
+  const double s4 = static_cast<double>(t1) / static_cast<double>(t4);
+  const double s8 = static_cast<double>(t1) / static_cast<double>(t8);
+  EXPECT_GT(s4, 2.5) << "t1=" << t1 << " t4=" << t4;
+  EXPECT_GT(s8, 4.0) << "t1=" << t1 << " t8=" << t8;
+  EXPECT_GT(s8, s4);
+}
+
+TEST(Parallel, DeterministicMakespan) {
+  auto run = [] {
+    Rig r([](Builder& b) { build_sumeuler(b); }, config_worksteal(4));
+    return r.run("sumEulerPar", {8, 80}).makespan;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Parallel, SparkAccountingConsistent) {
+  Rig r([](Builder& b) { build_sumeuler(b); }, config_worksteal(4));
+  r.run("sumEulerPar", {5, 100});
+  SparkStats s = r.m->total_spark_stats();
+  EXPECT_GT(s.created, 0u);
+  // Every created spark is eventually converted, stolen-and-run, fizzled,
+  // or still sitting in a pool; converted counts stolen ones too.
+  EXPECT_GE(s.created + s.dud, s.fizzled);
+  EXPECT_GT(s.converted + s.fizzled, 0u);
+}
+
+TEST(Parallel, StealHappensAcrossCapabilities) {
+  Rig r([](Builder& b) { build_sumeuler(b); }, config_worksteal(8));
+  r.run("sumEulerPar", {4, 100});
+  EXPECT_GT(r.m->total_spark_stats().stolen, 0u);
+}
+
+TEST(Parallel, PushOnPollAlsoDistributesWork) {
+  Rig r([](Builder& b) { build_sumeuler(b); }, config_plain(4));
+  SimResult res = r.run("sumEulerPar", {5, 100});
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(100));
+  // Under pushing, conversions must still happen on several capabilities.
+  std::uint32_t converting_caps = 0;
+  for (std::uint32_t i = 0; i < r.m->n_caps(); ++i)
+    if (r.m->cap(i).spark_stats().converted > 0) converting_caps++;
+  EXPECT_GE(converting_caps, 2u);
+}
+
+TEST(Parallel, GcUnderPressureStillCorrect) {
+  RtsConfig cfg = config_worksteal(4);
+  cfg.heap.nursery_words = 2048;  // tiny allocation areas: many collections
+  cfg.heap.old_words = 1 << 20;
+  Rig r([](Builder& b) { build_sumeuler(b); }, cfg);
+  SimResult res = r.run("sumEulerPar", {5, 80});
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(80));
+  EXPECT_GT(res.gc_count, 10u);
+  EXPECT_GT(r.m->heap().stats().minor_collections + r.m->heap().stats().major_collections, 10u);
+}
+
+TEST(Parallel, BigAllocationAreaReducesGcCount) {
+  auto gcs = [](std::size_t nursery_words) {
+    RtsConfig cfg = config_plain(4);
+    cfg.heap.nursery_words = nursery_words;
+    Rig r([](Builder& b) { build_sumeuler(b); }, cfg);
+    return r.run("sumEulerPar", {5, 80}).gc_count;
+  };
+  EXPECT_GT(gcs(4096), gcs(64 * 1024));
+}
+
+TEST(Parallel, SelfReferentialThunkDeadlocks) {
+  // let x = x in x — blocks on its own black hole; the driver must report
+  // deadlock rather than spin forever.
+  for (auto mk : {config_worksteal_eagerbh, config_worksteal}) {
+    Rig r(
+        [](Builder& b) {
+          b.fun("loop", {}, [](Ctx& c) {
+            return c.letrec(
+                {"x"}, [&] { return std::vector<E>{c.var("x")}; },
+                [&] { return c.var("x"); });
+          });
+        },
+        mk(2));
+    SimResult res = r.run("loop", {});
+    EXPECT_TRUE(res.deadlocked);
+  }
+}
+
+TEST(Parallel, EagerBlackholingPreventsDuplicateWork) {
+  // Two sparks of the same expensive thunk are stolen by two idle
+  // capabilities while the main thread is busy with independent filler
+  // work. Under eager black-holing the second thief blocks on the first
+  // thief's black hole; under lazy black-holing both evaluate the thunk
+  // and the loser's update lands on an indirection (duplicate work).
+  auto build = [](Builder& b) {
+    b.fun("shared", {"n"}, [](Ctx& c) {
+      return c.app("sum", {c.app("enumFromTo", {c.lit(1), c.var("n")})});
+    });
+    b.fun("f", {"n"}, [](Ctx& c) {
+      return c.let1("x", c.app("shared", {c.var("n")}), [&] {
+        return c.par(
+            c.var("x"),
+            c.par(c.var("x"),
+                  c.seq(c.app("shared", {c.prim(PrimOp::Mul, c.var("n"), c.lit(3))}),
+                        c.prim(PrimOp::Add, c.var("x"), c.var("x")))));
+      });
+    });
+  };
+  const std::int64_t n = 4000;
+  const std::int64_t expect = 2 * (n * (n + 1) / 2);
+
+  Rig eager(build, config_worksteal_eagerbh(4));
+  SimResult re = eager.run("f", {n});
+  EXPECT_EQ(read_int(re.value), expect);
+  EXPECT_EQ(eager.m->stats().duplicate_updates.load(), 0u);
+  EXPECT_GT(eager.m->stats().blocked_on_blackhole, 0u);
+
+  Rig lazy(build, config_worksteal(4));
+  SimResult rl = lazy.run("f", {n});
+  EXPECT_EQ(read_int(rl.value), expect);
+  EXPECT_GT(lazy.m->stats().duplicate_updates.load(), 0u);
+  // The duplicated evaluation is wasted mutator work: lazy BH burns more
+  // total steps than eager BH on the same program.
+  EXPECT_GT(rl.mutator_steps, re.mutator_steps + n);
+}
+
+TEST(Parallel, BlockedThreadsResumeAfterUpdate) {
+  // main sparks a chain where a consumer needs a producer's thunk; with
+  // eager BH the consumer blocks and must be woken correctly.
+  Rig r(
+      [](Builder& b) {
+        b.fun("f", {"n"}, [](Ctx& c) {
+          return c.let1("a", c.app("sum", {c.app("enumFromTo", {c.lit(1), c.var("n")})}), [&] {
+            return c.let1("bb", c.prim(PrimOp::Mul, c.var("a"), c.lit(2)), [&] {
+              return c.par(c.var("a"),
+                           c.par(c.var("bb"), c.prim(PrimOp::Add, c.var("a"), c.var("bb"))));
+            });
+          });
+        });
+      },
+      config_worksteal_eagerbh(4));
+  EXPECT_EQ(r.run_int("f", {3000}), 3 * 3000LL * 3001 / 2);
+  EXPECT_GT(r.m->stats().blocked_on_blackhole, 0u);
+}
+
+TEST(Parallel, TraceCoversMakespanAndStates) {
+  Rig r([](Builder& b) { build_sumeuler(b); }, config_worksteal(4));
+  TraceLog trace(4);
+  SimResult res = r.run("sumEulerPar", {5, 80}, &trace);
+  EXPECT_GE(trace.end_time(), res.makespan * 9 / 10);
+  double run_frac = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) run_frac += trace.fraction(i, CapState::Run);
+  EXPECT_GT(run_frac, 1.0);  // substantial green time across 4 caps
+  EXPECT_FALSE(trace.render_ascii(60).empty());
+  EXPECT_FALSE(trace.summary().empty());
+  EXPECT_NE(trace.to_csv().find("run"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ph::test

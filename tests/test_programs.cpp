@@ -1,0 +1,118 @@
+// The benchmark programs (matmul, APSP) against host-side references, on
+// the shared-heap machine under several runtime configurations.
+#include <gtest/gtest.h>
+
+#include "progs/apsp.hpp"
+#include "progs/matmul.hpp"
+#include "rig.hpp"
+
+namespace ph::test {
+namespace {
+
+Obj* marshal_mat(Machine& m, const Mat& mat) { return make_int_matrix(m, 0, mat); }
+
+TEST(MatMul, SequentialMatchesReference) {
+  Rig r([](Builder& b) { build_matmul(b); });
+  Mat a = random_matrix(6, 1), bm = random_matrix(6, 2);
+  Obj* ao = marshal_mat(*r.m, a);
+  std::vector<Obj*> protect{ao};
+  RootGuard g(*r.m, protect);
+  Obj* bo = marshal_mat(*r.m, bm);
+  SimResult res = r.run_forced("matMulSeq", {protect[0], bo});
+  EXPECT_EQ(read_int_matrix(res.value), matmul_reference(a, bm));
+}
+
+TEST(MatMul, BlockedDecompositionIsExact) {
+  Rig r([](Builder& b) { build_matmul(b); });
+  Mat a = random_matrix(8, 3), bm = random_matrix(8, 4);
+  Obj* nb = make_int(*r.m, 0, 2);
+  Obj* q = make_int(*r.m, 0, 4);
+  Obj* ao = marshal_mat(*r.m, a);
+  std::vector<Obj*> protect{ao};
+  RootGuard g(*r.m, protect);
+  Obj* bo = marshal_mat(*r.m, bm);
+  SimResult res = r.run_forced("matMulBlockedSeq", {nb, q, protect[0], bo});
+  EXPECT_EQ(read_int_matrix(res.value), matmul_reference(a, bm));
+}
+
+class MatMulGphConfigs : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MatMulGphConfigs, SparkedBlocksMatchReference) {
+  Rig r([](Builder& b) { build_matmul(b); }, config_worksteal(GetParam()));
+  Mat a = random_matrix(8, 5), bm = random_matrix(8, 6);
+  Obj* nb = make_int(*r.m, 0, 4);
+  Obj* q = make_int(*r.m, 0, 2);
+  Obj* ao = marshal_mat(*r.m, a);
+  std::vector<Obj*> protect{ao};
+  RootGuard g(*r.m, protect);
+  Obj* bo = marshal_mat(*r.m, bm);
+  SimResult res = r.run_forced("matMulGph", {nb, q, protect[0], bo});
+  EXPECT_EQ(read_int_matrix(res.value), matmul_reference(a, bm));
+  EXPECT_GT(r.m->total_spark_stats().created, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, MatMulGphConfigs, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(MatMul, GphSpeedsUpWithCores) {
+  auto run = [](std::uint32_t caps) {
+    Rig r([](Builder& b) { build_matmul(b); }, config_worksteal(caps));
+    Mat a = random_matrix(12, 7), bm = random_matrix(12, 8);
+    Obj* nb = make_int(*r.m, 0, 3);
+    Obj* q = make_int(*r.m, 0, 4);
+    Obj* ao = make_int_matrix(*r.m, 0, a);
+    std::vector<Obj*> protect{ao};
+    RootGuard g(*r.m, protect);
+    Obj* bo = make_int_matrix(*r.m, 0, bm);
+    SimResult res = r.run_forced("matMulGph", {nb, q, protect[0], bo});
+    EXPECT_EQ(read_int_matrix(res.value), matmul_reference(a, bm));
+    return res.makespan;
+  };
+  EXPECT_GT(static_cast<double>(run(1)) / static_cast<double>(run(4)), 2.0);
+}
+
+TEST(Apsp, SequentialMatchesFloydWarshall) {
+  Rig r([](Builder& b) { build_apsp(b); });
+  DistMat d = random_graph(10, 42);
+  Obj* n = make_int(*r.m, 0, 10);
+  Obj* mo = make_int_matrix(*r.m, 0, d);
+  SimResult res = r.run_forced("apspSeq", {n, mo});
+  EXPECT_EQ(read_int_matrix(res.value), floyd_warshall(d));
+}
+
+class ApspGphConfigs : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApspGphConfigs, SparkedRowsMatchReferenceUnderAnyPolicy) {
+  RtsConfig cfg;
+  switch (GetParam()) {
+    case 0: cfg = config_plain(4); break;
+    case 1: cfg = config_worksteal(4); break;
+    default: cfg = config_worksteal_eagerbh(4); break;
+  }
+  Rig r([](Builder& b) { build_apsp(b); }, cfg);
+  DistMat d = random_graph(12, 11);
+  Obj* n = make_int(*r.m, 0, 12);
+  Obj* mo = make_int_matrix(*r.m, 0, d);
+  SimResult res = r.run_obj_args("apspChecksum", {n, mo});
+  EXPECT_EQ(read_int(res.value), apsp_checksum(floyd_warshall(d)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ApspGphConfigs, ::testing::Values(0, 1, 2));
+
+TEST(Apsp, LazyBlackholingDuplicatesRowWork) {
+  // The phenomenon behind Fig. 5: the shared row-k thunks get evaluated by
+  // multiple threads unless black-holed eagerly.
+  auto run = [](RtsConfig cfg) {
+    Rig r([](Builder& b) { build_apsp(b); }, cfg);
+    DistMat d = random_graph(16, 5);
+    Obj* n = make_int(*r.m, 0, 16);
+    Obj* mo = make_int_matrix(*r.m, 0, d);
+    SimResult res = r.run_obj_args("apspChecksum", {n, mo});
+    EXPECT_EQ(read_int(res.value), apsp_checksum(floyd_warshall(d)));
+    return r.m->stats().duplicate_updates.load();
+  };
+  EXPECT_EQ(run(config_worksteal_eagerbh(8)), 0u);
+  EXPECT_GT(run(config_worksteal(8)), 0u);
+}
+
+}  // namespace
+}  // namespace ph::test

@@ -1,0 +1,195 @@
+// Eden algorithmic skeletons: parMap, parMapReduce, masterWorker, ring
+// (pipelined Floyd–Warshall), torus (Cannon's algorithm).
+#include <gtest/gtest.h>
+
+#include "progs/apsp.hpp"
+#include "progs/matmul.hpp"
+#include "progs/sumeuler.hpp"
+#include "rig.hpp"
+#include "skel/skeletons.hpp"
+
+namespace ph::test {
+namespace {
+
+struct SkelRig {
+  Program prog;
+  std::unique_ptr<EdenSystem> sys;
+
+  SkelRig(std::uint32_t n_pes, std::uint32_t n_cores,
+          std::size_t nursery_words = 512 * 1024) {
+    Builder b(prog);
+    build_prelude(b);
+    build_sumeuler(b);
+    build_matmul(b);
+    build_apsp(b);
+    prog.validate();
+    EdenConfig cfg;
+    cfg.n_pes = n_pes;
+    cfg.n_cores = n_cores;
+    cfg.pe_rts = config_worksteal_eagerbh(1);
+    cfg.pe_rts.heap.nursery_words = nursery_words;
+    sys = std::make_unique<EdenSystem>(prog, cfg);
+  }
+
+  EdenSimResult run_root(const std::string& g, const std::vector<Obj*>& args,
+                         TraceLog* trace = nullptr) {
+    Tso* root = skel::root_apply(*sys, prog.find(g), args);
+    EdenSimDriver d(*sys, trace);
+    return d.run(root);
+  }
+
+  /// Deep-forces the root result (structured data).
+  EdenSimResult run_root_forced(const std::string& g, const std::vector<Obj*>& args) {
+    Machine& pe0 = sys->pe(0);
+    std::vector<Obj*> protect = args;
+    RootGuard guard(pe0, protect);
+    Obj* th = make_apply_thunk(pe0, 0, prog.find(g), protect);
+    Tso* root = pe0.spawn_deep_force(th, 0);
+    EdenSimDriver d(*sys);
+    return d.run(root);
+  }
+};
+
+TEST(Skeletons, ParMapPhiOverChunks) {
+  SkelRig r(4, 4);
+  Machine& pe0 = r.sys->pe(0);
+  std::vector<Obj*> tasks;
+  for (int i = 1; i <= 6; ++i)
+    tasks.push_back(make_int_list(pe0, 0, {5 * i, 5 * i + 1, 5 * i + 2}));
+  Obj* results = skel::par_map(*r.sys, r.prog.find("sumPhi"), tasks);
+  EdenSimResult res = r.run_root("sum", {results});
+  ASSERT_FALSE(res.deadlocked);
+  std::int64_t expect = 0;
+  auto phi = [](std::int64_t k) {
+    return sum_euler_reference(k) - sum_euler_reference(k - 1);
+  };
+  for (int i = 1; i <= 6; ++i)
+    expect += phi(5 * i) + phi(5 * i + 1) + phi(5 * i + 2);
+  EXPECT_EQ(read_int(res.value), expect);
+}
+
+TEST(Skeletons, ParMapReduceSumEuler) {
+  // The paper's Eden sumEuler: parMapReduce over chunks of [1..n].
+  SkelRig r(8, 8);
+  Machine& pe0 = r.sys->pe(0);
+  const std::int64_t n = 60;
+  std::vector<Obj*> chunks;
+  for (std::int64_t lo = 1; lo <= n; lo += 10) {
+    std::vector<std::int64_t> chunk;
+    for (std::int64_t k = lo; k < lo + 10 && k <= n; ++k) chunk.push_back(k);
+    chunks.push_back(make_int_list(pe0, 0, chunk));
+  }
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"), chunks);
+  EdenSimResult res = r.run_root("sum", {partials});
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(n));
+}
+
+TEST(Skeletons, MasterWorkerPreservesTaskOrder) {
+  SkelRig r(4, 4);
+  Machine& pe0 = r.sys->pe(0);
+  std::vector<Obj*> tasks;
+  for (int i = 10; i <= 21; ++i) tasks.push_back(make_int(pe0, 0, i));
+  Obj* results = skel::master_worker(*r.sys, r.prog.find("phi"), tasks, 3);
+  // Reading the merged list forces the whole pipeline.
+  EdenSimResult res = r.run_root("sum", {results});
+  ASSERT_FALSE(res.deadlocked);
+  std::int64_t expect = 0;
+  for (int i = 10; i <= 21; ++i)
+    expect += sum_euler_reference(i) - sum_euler_reference(i - 1);
+  EXPECT_EQ(read_int(res.value), expect);
+}
+
+TEST(Skeletons, TorusCannonMatchesReference) {
+  SkelRig r(4, 4);
+  Machine& pe0 = r.sys->pe(0);
+  const std::uint32_t q = 2;
+  Mat a = random_matrix(8, 21), bm = random_matrix(8, 22);
+  std::vector<Obj*> inputs = make_cannon_inputs(pe0, a, bm, q);
+  Obj* blocks = skel::torus(*r.sys, r.prog.find("cannonNode"), q, inputs, {q});
+  EdenSimResult res = r.run_root("sumBlocks", {blocks});
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), mat_checksum(matmul_reference(a, bm)));
+  EXPECT_GT(res.messages, 8u);  // block rotations really happened
+}
+
+TEST(Skeletons, TorusCannonExactBlocks) {
+  // Assemble the blocks back into a full matrix and compare exactly.
+  SkelRig r(9, 4);  // more PEs than cores, like the paper's trace (e)
+  Machine& pe0 = r.sys->pe(0);
+  const std::uint32_t q = 3;
+  Mat a = random_matrix(9, 31), bm = random_matrix(9, 32);
+  std::vector<Obj*> inputs = make_cannon_inputs(pe0, a, bm, q);
+  Obj* blocks = skel::torus(*r.sys, r.prog.find("cannonNode"), q, inputs, {q});
+  std::vector<Obj*> protect{blocks};
+  RootGuard guard(pe0, protect);
+  Obj* qv = make_int(pe0, 0, q);
+  EdenSimResult res = r.run_root_forced("assembleFlat", {qv, protect[0]});
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int_matrix(res.value), matmul_reference(a, bm));
+}
+
+TEST(Skeletons, RingApspMatchesFloydWarshall) {
+  const std::size_t n = 12;
+  const std::uint32_t p = 4;  // ring of 4 processes, 3 rows each
+  SkelRig r(p + 1, p + 1);
+  Machine& pe0 = r.sys->pe(0);
+  DistMat d = random_graph(n, 77);
+  const std::size_t nb = n / p;
+  std::vector<Obj*> bundles;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    DistMat bundle(d.begin() + static_cast<std::ptrdiff_t>(i * nb),
+                   d.begin() + static_cast<std::ptrdiff_t>((i + 1) * nb));
+    bundles.push_back(make_int_matrix(pe0, 0, bundle));
+  }
+  Obj* outs = skel::ring(*r.sys, r.prog.find("apspRingNode"), bundles,
+                         {static_cast<std::int64_t>(p), static_cast<std::int64_t>(nb)});
+  EdenSimResult res = r.run_root("apspCollect", {outs});
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int(res.value), apsp_checksum(floyd_warshall(d)));
+}
+
+TEST(Skeletons, RingApspExactRows) {
+  const std::size_t n = 8;
+  const std::uint32_t p = 4;
+  SkelRig r(p, 2);  // ring nodes share cores; parent shares PE 0
+  Machine& pe0 = r.sys->pe(0);
+  DistMat d = random_graph(n, 99);
+  const std::size_t nb = n / p;
+  std::vector<Obj*> bundles;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    DistMat bundle(d.begin() + static_cast<std::ptrdiff_t>(i * nb),
+                   d.begin() + static_cast<std::ptrdiff_t>((i + 1) * nb));
+    bundles.push_back(make_int_matrix(pe0, 0, bundle));
+  }
+  Obj* outs = skel::ring(*r.sys, r.prog.find("apspRingNode"), bundles,
+                         {static_cast<std::int64_t>(p), static_cast<std::int64_t>(nb)});
+  EdenSimResult res = r.run_root_forced("concat", {outs});
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_EQ(read_int_matrix(res.value), floyd_warshall(d));
+}
+
+TEST(Skeletons, EdenSumEulerSpeedsUpWithPes) {
+  auto run = [](std::uint32_t pes) {
+    SkelRig r(pes, pes);
+    Machine& pe0 = r.sys->pe(0);
+    const std::int64_t n = 120;
+    std::vector<Obj*> chunks;
+    for (std::int64_t lo = 1; lo <= n; lo += 10) {
+      std::vector<std::int64_t> chunk;
+      for (std::int64_t k = lo; k < lo + 10 && k <= n; ++k) chunk.push_back(k);
+      chunks.push_back(make_int_list(pe0, 0, chunk));
+    }
+    Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"), chunks);
+    EdenSimResult res = r.run_root("sum", {partials});
+    EXPECT_FALSE(res.deadlocked);
+    EXPECT_EQ(read_int(res.value), sum_euler_reference(n));
+    return res.makespan;
+  };
+  const std::uint64_t t1 = run(1);  // single PE: everything local
+  const std::uint64_t t8 = run(8);
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t8), 3.0);
+}
+
+}  // namespace
+}  // namespace ph::test

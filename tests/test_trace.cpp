@@ -1,0 +1,84 @@
+// TraceLog unit tests: segment merging, fractions, rendering, CSV.
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+namespace ph {
+namespace {
+
+TEST(Trace, AdjacentSameStateSegmentsMerge) {
+  TraceLog t(1);
+  t.record(0, 0, 10, CapState::Run);
+  t.record(0, 10, 20, CapState::Run);
+  t.record(0, 20, 30, CapState::Gc);
+  EXPECT_EQ(t.row(0).size(), 2u);
+  EXPECT_EQ(t.row(0)[0].end, 20u);
+}
+
+TEST(Trace, ZeroLengthSegmentsDropped) {
+  TraceLog t(1);
+  t.record(0, 5, 5, CapState::Run);
+  EXPECT_TRUE(t.row(0).empty());
+  EXPECT_EQ(t.end_time(), 0u);
+}
+
+TEST(Trace, FractionsSumToOneWithImplicitIdle) {
+  TraceLog t(2);
+  t.record(0, 0, 60, CapState::Run);
+  t.record(0, 60, 100, CapState::Gc);
+  t.record(1, 0, 25, CapState::Run);  // row 1 uncovered after 25 => idle
+  EXPECT_DOUBLE_EQ(t.fraction(0, CapState::Run), 0.6);
+  EXPECT_DOUBLE_EQ(t.fraction(0, CapState::Gc), 0.4);
+  EXPECT_DOUBLE_EQ(t.fraction(1, CapState::Run), 0.25);
+  EXPECT_DOUBLE_EQ(t.fraction(1, CapState::Idle), 0.75);
+  double total = 0;
+  for (CapState s : {CapState::Run, CapState::Sync, CapState::Gc, CapState::Blocked,
+                     CapState::Idle})
+    total += t.fraction(1, s);
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(Trace, AsciiShowsDominantStatePerBucket) {
+  TraceLog t(1);
+  t.record(0, 0, 70, CapState::Run);
+  t.record(0, 70, 100, CapState::Blocked);
+  std::string art = t.render_ascii(10);
+  // 10 buckets of 10: 7 run, 3 blocked.
+  EXPECT_NE(art.find("#######xxx"), std::string::npos);
+}
+
+TEST(Trace, AsciiHandlesEmptyAndTiny) {
+  TraceLog t(2);
+  EXPECT_EQ(t.render_ascii(10), "<empty trace>\n");
+  t.record(0, 0, 1, CapState::Gc);
+  EXPECT_NE(t.render_ascii(5).find('G'), std::string::npos);
+}
+
+TEST(Trace, CsvListsAllSegments) {
+  TraceLog t(2);
+  t.record(0, 0, 10, CapState::Run);
+  t.record(1, 3, 9, CapState::Sync);
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("cap,start,end,state"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,10,run"), std::string::npos);
+  EXPECT_NE(csv.find("1,3,9,sync"), std::string::npos);
+}
+
+TEST(Trace, SummaryHasOneLinePerRow) {
+  TraceLog t(3);
+  t.record(0, 0, 10, CapState::Run);
+  std::string s = t.summary();
+  // Header + 3 rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Trace, StateNamesStable) {
+  EXPECT_STREQ(cap_state_name(CapState::Run), "run");
+  EXPECT_STREQ(cap_state_name(CapState::Sync), "sync");
+  EXPECT_STREQ(cap_state_name(CapState::Gc), "gc");
+  EXPECT_STREQ(cap_state_name(CapState::Blocked), "blocked");
+  EXPECT_STREQ(cap_state_name(CapState::Idle), "idle");
+}
+
+}  // namespace
+}  // namespace ph

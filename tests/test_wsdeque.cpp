@@ -1,0 +1,84 @@
+// Chase–Lev work-stealing deque: sequential semantics plus a concurrent
+// no-loss/no-duplication stress test (the invariant the spark pools of
+// §IV.A.2 depend on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rts/wsdeque.hpp"
+
+namespace ph {
+namespace {
+
+TEST(WsDeque, OwnerLifoThiefFifo) {
+  WsDeque<std::uint64_t> d(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) d.push(i);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.steal().value(), 1u);   // thief takes the oldest
+  EXPECT_EQ(d.pop().value(), 5u);     // owner takes the newest
+  EXPECT_EQ(d.steal().value(), 2u);
+  EXPECT_EQ(d.pop().value(), 4u);
+  EXPECT_EQ(d.pop().value(), 3u);
+  EXPECT_FALSE(d.pop().has_value());
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  WsDeque<std::uint64_t> d(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) d.push(i);
+  EXPECT_EQ(d.size(), 1000u);
+  for (std::uint64_t i = 1000; i-- > 0;) EXPECT_EQ(d.pop().value(), i);
+}
+
+TEST(WsDeque, ForEachSlotVisitsExactlyContents) {
+  WsDeque<std::uint64_t> d(8);
+  for (std::uint64_t i = 0; i < 10; ++i) d.push(i);
+  (void)d.steal();
+  (void)d.pop();
+  std::vector<std::uint64_t> seen;
+  d.for_each_slot([&](std::uint64_t& v) { seen.push_back(v); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(WsDeque, ConcurrentStealNoLossNoDuplication) {
+  // Owner interleaves pushes and pops; 3 thieves steal continuously. Every
+  // pushed value must be seen exactly once across owner pops and steals.
+  constexpr std::uint64_t kItems = 200000;
+  WsDeque<std::uint64_t> d(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> stolen[3];
+  std::vector<std::jthread> thieves;
+  for (int t = 0; t < 3; ++t)
+    thieves.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (auto v = d.steal()) stolen[t].push_back(*v);
+      }
+      while (auto v = d.steal()) stolen[t].push_back(*v);
+    });
+
+  std::vector<std::uint64_t> popped;
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    d.push(i);
+    if (i % 3 == 0) {
+      if (auto v = d.pop()) popped.push_back(*v);
+    }
+  }
+  while (auto v = d.pop()) popped.push_back(*v);
+  stop.store(true, std::memory_order_release);
+  thieves.clear();  // join
+
+  std::vector<std::uint64_t> all = popped;
+  for (auto& s : stolen) all.insert(all.end(), s.begin(), s.end());
+  ASSERT_EQ(all.size(), kItems);
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_EQ(all[i], i + 1);
+}
+
+}  // namespace
+}  // namespace ph

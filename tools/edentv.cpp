@@ -1,0 +1,93 @@
+// edentv — a small offline viewer for the EdenTV-style CSV traces the
+// benchmark harnesses dump (fig2_traces/, fig4_traces/).
+//
+//   edentv <trace.csv> [--width W] [--from T0] [--to T1] [--summary]
+//
+// Renders the per-capability activity timeline (optionally zoomed into a
+// virtual-time window) and the utilisation table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+using namespace ph;
+
+namespace {
+
+CapState state_of(const std::string& s) {
+  if (s == "run") return CapState::Run;
+  if (s == "sync") return CapState::Sync;
+  if (s == "gc") return CapState::Gc;
+  if (s == "blocked") return CapState::Blocked;
+  return CapState::Idle;
+}
+
+struct Row {
+  std::uint32_t cap;
+  std::uint64_t start, end;
+  CapState state;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.csv> [--width W] [--from T0] [--to T1] [--summary]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::uint32_t width = 110;
+  std::uint64_t from = 0, to = ~0ull;
+  bool summary = false;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--width") && i + 1 < argc) width = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--from") && i + 1 < argc) from = std::atoll(argv[++i]);
+    else if (!std::strcmp(argv[i], "--to") && i + 1 < argc) to = std::atoll(argv[++i]);
+    else if (!std::strcmp(argv[i], "--summary")) summary = true;
+    else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<Row> rows;
+  std::uint32_t max_cap = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string cap, start, end, state;
+    if (!std::getline(ls, cap, ',') || !std::getline(ls, start, ',') ||
+        !std::getline(ls, end, ',') || !std::getline(ls, state, ','))
+      continue;
+    Row r{static_cast<std::uint32_t>(std::atoi(cap.c_str())),
+          static_cast<std::uint64_t>(std::atoll(start.c_str())),
+          static_cast<std::uint64_t>(std::atoll(end.c_str())), state_of(state)};
+    if (r.end <= from || r.start >= to) continue;
+    r.start = std::max(r.start, from) - from;
+    r.end = std::min(r.end, to) - from;
+    max_cap = std::max(max_cap, r.cap);
+    rows.push_back(r);
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "no segments in the selected window\n");
+    return 1;
+  }
+
+  TraceLog t(max_cap + 1);
+  for (const Row& r : rows) t.record(r.cap, r.start, r.end, r.state);
+  std::printf("%s", t.render_ascii(width).c_str());
+  if (summary) std::printf("\n%s", t.summary().c_str());
+  return 0;
+}
