@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allocarea.dir/ablation_allocarea.cpp.o"
+  "CMakeFiles/ablation_allocarea.dir/ablation_allocarea.cpp.o.d"
+  "ablation_allocarea"
+  "ablation_allocarea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocarea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blackhole.dir/ablation_blackhole.cpp.o"
+  "CMakeFiles/ablation_blackhole.dir/ablation_blackhole.cpp.o.d"
+  "ablation_blackhole"
+  "ablation_blackhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blackhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heapmodel.dir/ablation_heapmodel.cpp.o"
+  "CMakeFiles/ablation_heapmodel.dir/ablation_heapmodel.cpp.o.d"
+  "ablation_heapmodel"
+  "ablation_heapmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heapmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparkthread.dir/ablation_sparkthread.cpp.o"
+  "CMakeFiles/ablation_sparkthread.dir/ablation_sparkthread.cpp.o.d"
+  "ablation_sparkthread"
+  "ablation_sparkthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparkthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_worksteal.dir/ablation_worksteal.cpp.o"
+  "CMakeFiles/ablation_worksteal.dir/ablation_worksteal.cpp.o.d"
+  "ablation_worksteal"
+  "ablation_worksteal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_worksteal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sumeuler_table.dir/fig1_sumeuler_table.cpp.o"
+  "CMakeFiles/fig1_sumeuler_table.dir/fig1_sumeuler_table.cpp.o.d"
+  "fig1_sumeuler_table"
+  "fig1_sumeuler_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sumeuler_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

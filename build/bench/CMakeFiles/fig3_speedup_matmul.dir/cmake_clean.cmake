@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_speedup_matmul.dir/fig3_speedup_matmul.cpp.o"
+  "CMakeFiles/fig3_speedup_matmul.dir/fig3_speedup_matmul.cpp.o.d"
+  "fig3_speedup_matmul"
+  "fig3_speedup_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_speedup_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_speedup_sumeuler.dir/fig3_speedup_sumeuler.cpp.o"
+  "CMakeFiles/fig3_speedup_sumeuler.dir/fig3_speedup_sumeuler.cpp.o.d"
+  "fig3_speedup_sumeuler"
+  "fig3_speedup_sumeuler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_speedup_sumeuler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

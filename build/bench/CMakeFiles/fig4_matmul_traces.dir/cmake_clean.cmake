@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_matmul_traces.dir/fig4_matmul_traces.cpp.o"
+  "CMakeFiles/fig4_matmul_traces.dir/fig4_matmul_traces.cpp.o.d"
+  "fig4_matmul_traces"
+  "fig4_matmul_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_matmul_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

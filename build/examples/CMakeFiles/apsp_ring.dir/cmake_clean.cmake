@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_ring.dir/apsp_ring.cpp.o"
+  "CMakeFiles/apsp_ring.dir/apsp_ring.cpp.o.d"
+  "apsp_ring"
+  "apsp_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

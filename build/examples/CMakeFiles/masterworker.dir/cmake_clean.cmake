@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masterworker.dir/masterworker.cpp.o"
+  "CMakeFiles/masterworker.dir/masterworker.cpp.o.d"
+  "masterworker"
+  "masterworker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masterworker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

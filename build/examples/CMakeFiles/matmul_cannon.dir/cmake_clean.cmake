@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_cannon.dir/matmul_cannon.cpp.o"
+  "CMakeFiles/matmul_cannon.dir/matmul_cannon.cpp.o.d"
+  "matmul_cannon"
+  "matmul_cannon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_cannon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sumeuler.dir/sumeuler.cpp.o"
+  "CMakeFiles/sumeuler.dir/sumeuler.cpp.o.d"
+  "sumeuler"
+  "sumeuler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sumeuler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

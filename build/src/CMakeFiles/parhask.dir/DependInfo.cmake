@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cpp" "src/CMakeFiles/parhask.dir/core/builder.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/core/builder.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/CMakeFiles/parhask.dir/core/program.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/core/program.cpp.o.d"
+  "/root/repo/src/eden/eden.cpp" "src/CMakeFiles/parhask.dir/eden/eden.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/eden/eden.cpp.o.d"
+  "/root/repo/src/eden/pack.cpp" "src/CMakeFiles/parhask.dir/eden/pack.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/eden/pack.cpp.o.d"
+  "/root/repo/src/eval/eval.cpp" "src/CMakeFiles/parhask.dir/eval/eval.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/eval/eval.cpp.o.d"
+  "/root/repo/src/gph/prelude.cpp" "src/CMakeFiles/parhask.dir/gph/prelude.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/gph/prelude.cpp.o.d"
+  "/root/repo/src/heap/heap.cpp" "src/CMakeFiles/parhask.dir/heap/heap.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/heap/heap.cpp.o.d"
+  "/root/repo/src/progs/apsp.cpp" "src/CMakeFiles/parhask.dir/progs/apsp.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/progs/apsp.cpp.o.d"
+  "/root/repo/src/progs/divconq.cpp" "src/CMakeFiles/parhask.dir/progs/divconq.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/progs/divconq.cpp.o.d"
+  "/root/repo/src/progs/matmul.cpp" "src/CMakeFiles/parhask.dir/progs/matmul.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/progs/matmul.cpp.o.d"
+  "/root/repo/src/progs/sumeuler.cpp" "src/CMakeFiles/parhask.dir/progs/sumeuler.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/progs/sumeuler.cpp.o.d"
+  "/root/repo/src/rts/config.cpp" "src/CMakeFiles/parhask.dir/rts/config.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/config.cpp.o.d"
+  "/root/repo/src/rts/flags.cpp" "src/CMakeFiles/parhask.dir/rts/flags.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/flags.cpp.o.d"
+  "/root/repo/src/rts/machine.cpp" "src/CMakeFiles/parhask.dir/rts/machine.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/machine.cpp.o.d"
+  "/root/repo/src/rts/marshal.cpp" "src/CMakeFiles/parhask.dir/rts/marshal.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/marshal.cpp.o.d"
+  "/root/repo/src/rts/report.cpp" "src/CMakeFiles/parhask.dir/rts/report.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/report.cpp.o.d"
+  "/root/repo/src/rts/threaded.cpp" "src/CMakeFiles/parhask.dir/rts/threaded.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/threaded.cpp.o.d"
+  "/root/repo/src/sim/sim_driver.cpp" "src/CMakeFiles/parhask.dir/sim/sim_driver.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/sim/sim_driver.cpp.o.d"
+  "/root/repo/src/skel/skeletons.cpp" "src/CMakeFiles/parhask.dir/skel/skeletons.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/skel/skeletons.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/parhask.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

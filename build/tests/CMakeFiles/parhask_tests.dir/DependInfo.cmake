@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/parhask_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_divconq.cpp" "tests/CMakeFiles/parhask_tests.dir/test_divconq.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_divconq.cpp.o.d"
+  "/root/repo/tests/test_eden.cpp" "tests/CMakeFiles/parhask_tests.dir/test_eden.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_eden.cpp.o.d"
+  "/root/repo/tests/test_eden_edge.cpp" "tests/CMakeFiles/parhask_tests.dir/test_eden_edge.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_eden_edge.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/parhask_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/parhask_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_heap.cpp" "tests/CMakeFiles/parhask_tests.dir/test_heap.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_heap.cpp.o.d"
+  "/root/repo/tests/test_pack_fuzz.cpp" "tests/CMakeFiles/parhask_tests.dir/test_pack_fuzz.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_pack_fuzz.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/parhask_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_prelude.cpp" "tests/CMakeFiles/parhask_tests.dir/test_prelude.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_prelude.cpp.o.d"
+  "/root/repo/tests/test_programs.cpp" "tests/CMakeFiles/parhask_tests.dir/test_programs.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_programs.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/parhask_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_skeletons.cpp" "tests/CMakeFiles/parhask_tests.dir/test_skeletons.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_skeletons.cpp.o.d"
+  "/root/repo/tests/test_threaded.cpp" "tests/CMakeFiles/parhask_tests.dir/test_threaded.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_threaded.cpp.o.d"
+  "/root/repo/tests/test_threaded_stress.cpp" "tests/CMakeFiles/parhask_tests.dir/test_threaded_stress.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_threaded_stress.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/parhask_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_wsdeque.cpp" "tests/CMakeFiles/parhask_tests.dir/test_wsdeque.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_wsdeque.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parhask.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

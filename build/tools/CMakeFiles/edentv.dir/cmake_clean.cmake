@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edentv.dir/edentv.cpp.o"
+  "CMakeFiles/edentv.dir/edentv.cpp.o.d"
+  "edentv"
+  "edentv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edentv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
