@@ -138,7 +138,9 @@ bench/CMakeFiles/ablation_sparkthread.dir/ablation_sparkthread.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/eden/eden.hpp \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -210,19 +212,20 @@ bench/CMakeFiles/ablation_sparkthread.dir/ablation_sparkthread.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/eden/pack.hpp /root/repo/src/rts/machine.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
- /root/repo/src/core/program.hpp /root/repo/src/core/ir.hpp \
- /root/repo/src/heap/heap.hpp /usr/include/c++/12/atomic \
- /root/repo/src/heap/object.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/cstddef \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/eden/pack.hpp \
+ /root/repo/src/rts/machine.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/program.hpp \
+ /root/repo/src/core/ir.hpp /root/repo/src/heap/heap.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/heap/object.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/cstddef /root/repo/src/rts/config.hpp \
+ /root/repo/src/rts/fault.hpp /root/repo/src/rts/tso.hpp \
  /root/repo/src/rts/wsdeque.hpp /root/repo/src/trace/trace.hpp \
  /root/repo/src/progs/all.hpp /root/repo/src/core/builder.hpp \
  /root/repo/src/gph/prelude.hpp /root/repo/src/progs/apsp.hpp \

@@ -224,10 +224,10 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /root/repo/src/core/program.hpp /root/repo/src/core/ir.hpp \
  /root/repo/src/heap/heap.hpp /root/repo/src/heap/object.hpp \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp /root/repo/src/progs/all.hpp \
- /root/repo/src/core/builder.hpp /root/repo/src/gph/prelude.hpp \
- /root/repo/src/progs/apsp.hpp /root/repo/src/progs/divconq.hpp \
- /root/repo/src/progs/matmul.hpp /root/repo/src/rts/marshal.hpp \
- /root/repo/src/progs/sumeuler.hpp /root/repo/src/sim/sim_driver.hpp \
- /root/repo/src/trace/trace.hpp
+ /root/repo/src/rts/config.hpp /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
+ /root/repo/src/progs/all.hpp /root/repo/src/core/builder.hpp \
+ /root/repo/src/gph/prelude.hpp /root/repo/src/progs/apsp.hpp \
+ /root/repo/src/progs/divconq.hpp /root/repo/src/progs/matmul.hpp \
+ /root/repo/src/rts/marshal.hpp /root/repo/src/progs/sumeuler.hpp \
+ /root/repo/src/sim/sim_driver.hpp /root/repo/src/trace/trace.hpp

@@ -223,8 +223,11 @@ examples/CMakeFiles/apsp_ring.dir/apsp_ring.cpp.o: \
  /usr/include/c++/12/atomic /root/repo/src/heap/object.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /root/repo/src/rts/config.hpp \
- /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
- /root/repo/src/progs/sumeuler.hpp /root/repo/src/sim/sim_driver.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/skel/skeletons.hpp \
- /root/repo/src/eden/eden.hpp /usr/include/c++/12/queue \
+ /root/repo/src/rts/fault.hpp /root/repo/src/rts/tso.hpp \
+ /root/repo/src/rts/wsdeque.hpp /root/repo/src/progs/sumeuler.hpp \
+ /root/repo/src/sim/sim_driver.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/skel/skeletons.hpp /root/repo/src/eden/eden.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/eden/pack.hpp

@@ -220,5 +220,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/atomic /root/repo/src/heap/object.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /root/repo/src/rts/config.hpp \
- /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
- /root/repo/src/sim/sim_driver.hpp /root/repo/src/trace/trace.hpp
+ /root/repo/src/rts/fault.hpp /root/repo/src/rts/tso.hpp \
+ /root/repo/src/rts/wsdeque.hpp /root/repo/src/sim/sim_driver.hpp \
+ /root/repo/src/trace/trace.hpp

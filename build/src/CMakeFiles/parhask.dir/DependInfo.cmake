@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/progs/matmul.cpp" "src/CMakeFiles/parhask.dir/progs/matmul.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/progs/matmul.cpp.o.d"
   "/root/repo/src/progs/sumeuler.cpp" "src/CMakeFiles/parhask.dir/progs/sumeuler.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/progs/sumeuler.cpp.o.d"
   "/root/repo/src/rts/config.cpp" "src/CMakeFiles/parhask.dir/rts/config.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/config.cpp.o.d"
+  "/root/repo/src/rts/fault.cpp" "src/CMakeFiles/parhask.dir/rts/fault.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/fault.cpp.o.d"
   "/root/repo/src/rts/flags.cpp" "src/CMakeFiles/parhask.dir/rts/flags.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/flags.cpp.o.d"
   "/root/repo/src/rts/machine.cpp" "src/CMakeFiles/parhask.dir/rts/machine.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/machine.cpp.o.d"
   "/root/repo/src/rts/marshal.cpp" "src/CMakeFiles/parhask.dir/rts/marshal.cpp.o" "gcc" "src/CMakeFiles/parhask.dir/rts/marshal.cpp.o.d"

@@ -219,5 +219,5 @@ src/CMakeFiles/parhask.dir/eden/pack.cpp.o: /root/repo/src/eden/pack.cpp \
  /root/repo/src/heap/heap.hpp /usr/include/c++/12/atomic \
  /root/repo/src/heap/object.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstddef \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp
+ /root/repo/src/rts/config.hpp /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp

@@ -217,5 +217,5 @@ src/CMakeFiles/parhask.dir/eval/eval.cpp.o: /root/repo/src/eval/eval.cpp \
  /root/repo/src/core/program.hpp /root/repo/src/core/ir.hpp \
  /root/repo/src/heap/heap.hpp /usr/include/c++/12/atomic \
  /root/repo/src/heap/object.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp
+ /root/repo/src/rts/config.hpp /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp

@@ -221,4 +221,5 @@ src/CMakeFiles/parhask.dir/progs/matmul.cpp.o: \
  /usr/include/c++/12/atomic /root/repo/src/heap/object.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /root/repo/src/rts/config.hpp \
- /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp
+ /root/repo/src/rts/fault.hpp /root/repo/src/rts/tso.hpp \
+ /root/repo/src/rts/wsdeque.hpp

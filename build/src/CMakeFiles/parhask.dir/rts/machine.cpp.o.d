@@ -219,8 +219,8 @@ src/CMakeFiles/parhask.dir/rts/machine.cpp.o: \
  /root/repo/src/heap/heap.hpp /usr/include/c++/12/atomic \
  /root/repo/src/heap/object.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstddef \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/rts/config.hpp /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

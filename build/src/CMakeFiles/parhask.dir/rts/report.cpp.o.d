@@ -220,10 +220,10 @@ src/CMakeFiles/parhask.dir/rts/report.cpp.o: \
  /root/repo/src/heap/heap.hpp /usr/include/c++/12/atomic \
  /root/repo/src/heap/object.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstddef \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp /root/repo/src/sim/sim_driver.hpp \
- /root/repo/src/trace/trace.hpp /usr/include/c++/12/iomanip \
- /usr/include/c++/12/locale \
+ /root/repo/src/rts/config.hpp /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
+ /root/repo/src/sim/sim_driver.hpp /root/repo/src/trace/trace.hpp \
+ /usr/include/c++/12/iomanip /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \

@@ -224,7 +224,8 @@ src/CMakeFiles/parhask.dir/rts/threaded.cpp.o: \
  /root/repo/src/heap/heap.hpp /root/repo/src/heap/object.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /root/repo/src/rts/config.hpp \
- /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/rts/fault.hpp /root/repo/src/rts/tso.hpp \
+ /root/repo/src/rts/wsdeque.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/thread

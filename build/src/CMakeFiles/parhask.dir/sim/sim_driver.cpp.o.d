@@ -219,8 +219,8 @@ src/CMakeFiles/parhask.dir/sim/sim_driver.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/core/program.hpp /root/repo/src/core/ir.hpp \
- /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
- /root/repo/src/trace/trace.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/rts/fault.hpp /root/repo/src/rts/tso.hpp \
+ /root/repo/src/rts/wsdeque.hpp /root/repo/src/trace/trace.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_eden.cpp" "tests/CMakeFiles/parhask_tests.dir/test_eden.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_eden.cpp.o.d"
   "/root/repo/tests/test_eden_edge.cpp" "tests/CMakeFiles/parhask_tests.dir/test_eden_edge.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_eden_edge.cpp.o.d"
   "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/parhask_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/parhask_tests.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_fault.cpp.o.d"
   "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/parhask_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_flags.cpp.o.d"
   "/root/repo/tests/test_heap.cpp" "tests/CMakeFiles/parhask_tests.dir/test_heap.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_heap.cpp.o.d"
   "/root/repo/tests/test_pack_fuzz.cpp" "tests/CMakeFiles/parhask_tests.dir/test_pack_fuzz.cpp.o" "gcc" "tests/CMakeFiles/parhask_tests.dir/test_pack_fuzz.cpp.o.d"

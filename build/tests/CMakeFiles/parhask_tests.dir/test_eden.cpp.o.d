@@ -301,8 +301,9 @@ tests/CMakeFiles/parhask_tests.dir/test_eden.cpp.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/core/program.hpp /root/repo/src/core/ir.hpp \
  /root/repo/src/heap/heap.hpp /root/repo/src/heap/object.hpp \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp /root/repo/src/trace/trace.hpp \
- /root/repo/src/gph/prelude.hpp /root/repo/src/core/builder.hpp \
- /root/repo/src/progs/sumeuler.hpp /root/repo/tests/rig.hpp \
- /root/repo/src/rts/marshal.hpp /root/repo/src/sim/sim_driver.hpp
+ /root/repo/src/rts/config.hpp /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/gph/prelude.hpp \
+ /root/repo/src/core/builder.hpp /root/repo/src/progs/sumeuler.hpp \
+ /root/repo/tests/rig.hpp /root/repo/src/rts/marshal.hpp \
+ /root/repo/src/sim/sim_driver.hpp

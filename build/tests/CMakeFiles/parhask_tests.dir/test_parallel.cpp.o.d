@@ -301,6 +301,7 @@ tests/CMakeFiles/parhask_tests.dir/test_parallel.cpp.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/heap/object.hpp /root/repo/src/rts/machine.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp /root/repo/src/rts/marshal.hpp \
- /root/repo/src/sim/sim_driver.hpp /root/repo/src/trace/trace.hpp
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
+ /root/repo/src/rts/marshal.hpp /root/repo/src/sim/sim_driver.hpp \
+ /root/repo/src/trace/trace.hpp

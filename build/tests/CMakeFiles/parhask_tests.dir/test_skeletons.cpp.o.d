@@ -301,10 +301,10 @@ tests/CMakeFiles/parhask_tests.dir/test_skeletons.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/heap/heap.hpp /root/repo/src/heap/object.hpp \
- /root/repo/src/rts/config.hpp /root/repo/src/rts/tso.hpp \
- /root/repo/src/rts/wsdeque.hpp /root/repo/src/progs/sumeuler.hpp \
- /root/repo/tests/rig.hpp /root/repo/src/gph/prelude.hpp \
- /root/repo/src/sim/sim_driver.hpp /root/repo/src/trace/trace.hpp \
- /root/repo/src/skel/skeletons.hpp /root/repo/src/eden/eden.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/eden/pack.hpp
+ /root/repo/src/rts/config.hpp /root/repo/src/rts/fault.hpp \
+ /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
+ /root/repo/src/progs/sumeuler.hpp /root/repo/tests/rig.hpp \
+ /root/repo/src/gph/prelude.hpp /root/repo/src/sim/sim_driver.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/skel/skeletons.hpp \
+ /root/repo/src/eden/eden.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/eden/pack.hpp

@@ -303,12 +303,13 @@ tests/CMakeFiles/parhask_tests.dir/test_threaded_stress.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/heap/heap.hpp \
  /root/repo/src/heap/object.hpp /root/repo/src/rts/config.hpp \
- /root/repo/src/rts/tso.hpp /root/repo/src/rts/wsdeque.hpp \
- /root/repo/src/progs/sumeuler.hpp /root/repo/tests/rig.hpp \
- /root/repo/src/sim/sim_driver.hpp /root/repo/src/trace/trace.hpp \
- /root/repo/src/rts/threaded.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/rts/fault.hpp /root/repo/src/rts/tso.hpp \
+ /root/repo/src/rts/wsdeque.hpp /root/repo/src/progs/sumeuler.hpp \
+ /root/repo/tests/rig.hpp /root/repo/src/sim/sim_driver.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/rts/threaded.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -3,11 +3,17 @@
 // merged in task order. Also demonstrates running the same workload with
 // GpH sparks for comparison — the paper's central dichotomy.
 //
-//   ./masterworker [--tasks T] [--workers W]
+//   ./masterworker [--tasks T] [--workers W] [--fault "-Fs1 -Fd20 ..."]
+//
+// --fault takes a fault-injection schedule (see src/rts/fault.hpp): e.g.
+//   --fault "-Fs7 -Fd25 -Fu10"       25% message drop, 10% duplication
+//   --fault "-Fs7 -Fd20 -Fc2@5000"   plus: crash PE 2 at t=5000
+// The run must still produce the correct sum — recovery is the point.
 #include <cstdio>
 #include <string>
 
 #include "progs/all.hpp"
+#include "rts/fault.hpp"
 #include "rts/marshal.hpp"
 #include "sim/sim_driver.hpp"
 #include "skel/skeletons.hpp"
@@ -20,11 +26,18 @@ std::int64_t arg(int argc, char** argv, const char* flag, std::int64_t dflt) {
     if (std::string(argv[i]) == flag) return std::atoll(argv[i + 1]);
   return dflt;
 }
+
+std::string sarg(int argc, char** argv, const char* flag, const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == flag) return argv[i + 1];
+  return dflt;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::int64_t tasks = arg(argc, argv, "--tasks", 24);
   const auto workers = static_cast<std::uint32_t>(arg(argc, argv, "--workers", 4));
+  const std::string fault_flags = sarg(argc, argv, "--fault", "");
   Program prog = make_full_program();
 
   // Irregular task sizes: phi(k) for k in a shuffled-cost sequence.
@@ -42,6 +55,23 @@ int main(int argc, char** argv) {
   cfg.n_pes = workers + 1;
   cfg.n_cores = workers + 1;
   cfg.pe_rts = config_worksteal_eagerbh(1);
+  if (!fault_flags.empty()) {
+    try {
+      cfg.fault = parse_fault_flags(fault_flags);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "masterworker: %s\n", e.what());
+      return 2;
+    }
+    if (cfg.fault.crashes() &&
+        (cfg.fault.crash_pe == 0 || cfg.fault.crash_pe >= cfg.n_pes)) {
+      std::fprintf(stderr,
+                   "masterworker: -Fc PE must be a worker (1..%u); PE 0 runs "
+                   "the unsupervisable root process\n",
+                   cfg.n_pes - 1);
+      return 2;
+    }
+    std::printf("fault schedule: %s\n\n", show_fault_flags(cfg.fault).c_str());
+  }
   EdenSystem sys(prog, cfg);
   Machine& pe0 = sys.pe(0);
   std::vector<Obj*> task_objs;
@@ -60,6 +90,24 @@ int main(int argc, char** argv) {
               read_int(r.value) == expect ? "OK" : "WRONG",
               static_cast<unsigned long long>(r.makespan),
               static_cast<unsigned long long>(r.messages));
+  if (cfg.fault.enabled()) {
+    const FaultStats& f = r.faults;
+    std::printf("  faults: %llu dropped, %llu duplicated, %llu delayed; "
+                "recovery: %llu retries, %llu acks, %llu dedup-dropped\n",
+                static_cast<unsigned long long>(f.dropped),
+                static_cast<unsigned long long>(f.duplicated),
+                static_cast<unsigned long long>(f.delayed),
+                static_cast<unsigned long long>(f.retries),
+                static_cast<unsigned long long>(f.acks),
+                static_cast<unsigned long long>(f.dedup_dropped));
+    if (f.crashes != 0)
+      std::printf("  crashes: %llu PE(s) died, %llu process(es) restarted, "
+                  "%llu log entries replayed; %u/%u PEs alive at the end\n",
+                  static_cast<unsigned long long>(f.crashes),
+                  static_cast<unsigned long long>(f.restarts),
+                  static_cast<unsigned long long>(f.replayed), r.alive_pes,
+                  cfg.n_pes);
+  }
 
   // GpH equivalent: spark each task with parList.
   Machine m(prog, config_worksteal(workers + 1));

@@ -11,10 +11,12 @@ namespace ph {
 // ===========================================================================
 
 EdenSystem::EdenSystem(const Program& prog, EdenConfig cfg)
-    : prog_(prog), cfg_(std::move(cfg)) {
+    : prog_(prog), cfg_(std::move(cfg)), injector_(cfg_.fault) {
   if (cfg_.n_pes == 0 || cfg_.n_cores == 0)
     throw ProgramError("Eden system needs at least one PE and one core");
   cfg_.pe_rts.n_caps = 1;  // one capability per PE: a sequential GHC runtime
+  reliable_ = cfg_.fault.enabled();
+  alive_.assign(cfg_.n_pes, true);
   pes_.reserve(cfg_.n_pes);
   pe_now_.assign(cfg_.n_pes, 0);
   inboxes_.resize(cfg_.n_pes);
@@ -22,6 +24,7 @@ EdenSystem::EdenSystem(const Program& prog, EdenConfig cfg)
     auto m = std::make_unique<Machine>(prog_, cfg_.pe_rts);
     m->pe_id = i;
     m->user_data = this;
+    if (reliable_) m->set_fault(&injector_);
     // Root the channel placeholders living in this PE's heap.
     m->add_root_walker([this, i](Gc& gc) {
       for (ChannelState& ch : channels_)
@@ -48,9 +51,40 @@ Obj* EdenSystem::placeholder_of(Channel ch) const {
   return channels_.at(ch.id).placeholder;
 }
 
+std::uint32_t EdenSystem::alive_pes() const {
+  std::uint32_t n = 0;
+  for (bool a : alive_)
+    if (a) n++;
+  return n;
+}
+
+void EdenSystem::note(std::uint32_t pe, std::uint64_t time, std::string text) {
+  if (trace_ != nullptr && pe < trace_->n_rows()) trace_->note(pe, time, std::move(text));
+}
+
 void EdenSystem::enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind,
                          Packet p) {
   ChannelState& ch = channels_.at(channel);
+  messages_sent_++;
+  words_sent_ += p.size_words();
+  if (reliable_) {
+    // Reliable channel: log the send (the log doubles as retransmit buffer
+    // and crash-replay source), then make the first transmission attempt
+    // over the lossy link. Ordering is restored receiver-side by cseq.
+    SentRecord r;
+    r.cseq = ch.next_cseq++;
+    r.kind = kind;
+    r.src_pe = src_pe;
+    r.epoch = ch.epoch;
+    r.attempts = 1;
+    r.cur_timeout = injector_.plan().retry_timeout;
+    const std::uint64_t now = pe_now_.at(src_pe);
+    r.next_retry_at = now + r.cur_timeout;
+    transmit(channel, kind, p, r.cseq, r.epoch, src_pe, /*attempt=*/0, now);
+    r.packet = std::move(p);
+    ch.log.push_back(std::move(r));
+    return;
+  }
   Msg m;
   m.channel = channel;
   m.kind = kind;
@@ -61,10 +95,102 @@ void EdenSystem::enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind ki
   // later must not overtake a large one sent earlier.
   m.deliver_at = std::max(m.deliver_at, ch.last_deliver_at);
   ch.last_deliver_at = m.deliver_at;
-  messages_sent_++;
-  words_sent_ += p.size_words();
   m.packet = std::move(p);
   inboxes_.at(ch.pe).push(std::move(m));
+}
+
+void EdenSystem::transmit(std::uint64_t channel, MsgKind kind, const Packet& p,
+                          std::uint64_t cseq, std::uint64_t epoch,
+                          std::uint32_t src_pe, std::uint32_t attempt,
+                          std::uint64_t send_time) {
+  ChannelState& ch = channels_.at(channel);
+  if (!alive_.at(ch.pe)) return;  // receiver down; the record stays unacked
+  FaultStats& fs = injector_.stats();
+  if (injector_.drop_message(channel, cseq, attempt)) {
+    fs.dropped++;
+    return;
+  }
+  Msg m;
+  m.deliver_at = send_time + cfg_.cost.msg_latency +
+                 (p.size_words() / 8) * cfg_.cost.msg_per_8words;
+  if (injector_.delay_message(channel, cseq, attempt)) {
+    m.deliver_at += injector_.plan().delay_extra;
+    fs.delayed++;
+  }
+  m.seq = msg_seq_++;
+  m.channel = channel;
+  m.kind = kind;
+  m.packet = p;
+  m.cseq = cseq;
+  m.epoch = epoch;
+  m.src_pe = src_pe;
+  const bool dup = injector_.duplicate_message(channel, cseq, attempt);
+  inboxes_.at(ch.pe).push(m);
+  if (dup) {
+    fs.duplicated++;
+    m.deliver_at += 1;
+    m.seq = msg_seq_++;
+    inboxes_.at(ch.pe).push(std::move(m));
+  }
+}
+
+void EdenSystem::send_ack(const Msg& data) {
+  FaultStats& fs = injector_.stats();
+  fs.acks++;
+  if (injector_.drop_ack(data.channel, data.cseq)) {
+    fs.dropped++;
+    return;
+  }
+  if (!alive_.at(data.src_pe)) return;  // original sender has since died
+  const std::uint32_t recv_pe = channels_.at(data.channel).pe;
+  Msg a;
+  a.deliver_at = pe_now_.at(recv_pe) + cfg_.cost.msg_latency;
+  a.seq = msg_seq_++;
+  a.channel = data.channel;
+  a.kind = MsgKind::Ack;
+  a.cseq = data.cseq;
+  a.epoch = data.epoch;
+  a.src_pe = recv_pe;
+  inboxes_.at(data.src_pe).push(std::move(a));
+}
+
+void EdenSystem::service_retries(std::uint64_t now) {
+  if (!reliable_) return;
+  const FaultPlan& plan = injector_.plan();
+  for (std::uint64_t ci = 0; ci < channels_.size(); ++ci) {
+    ChannelState& ch = channels_[ci];
+    if (!alive_.at(ch.pe)) continue;  // nobody to deliver to until re-pointed
+    for (SentRecord& r : ch.log) {
+      if (r.acked || !alive_.at(r.src_pe)) continue;
+      if (plan.retry_max != 0 && r.attempts >= plan.retry_max) continue;
+      if (now < r.next_retry_at) continue;
+      const std::uint32_t attempt = r.attempts++;
+      injector_.stats().retries++;
+      note(r.src_pe, now,
+           "retry ch" + std::to_string(ci) + " #" + std::to_string(r.cseq) +
+               " attempt " + std::to_string(attempt + 1));
+      transmit(ci, r.kind, r.packet, r.cseq, r.epoch, r.src_pe, attempt, now);
+      r.cur_timeout = static_cast<std::uint64_t>(
+          static_cast<double>(r.cur_timeout) * plan.retry_backoff);
+      if (r.cur_timeout == 0) r.cur_timeout = 1;
+      r.next_retry_at = now + r.cur_timeout;
+    }
+  }
+}
+
+std::optional<std::uint64_t> EdenSystem::next_retry_event() const {
+  if (!reliable_) return std::nullopt;
+  const FaultPlan& plan = injector_.plan();
+  std::optional<std::uint64_t> ev;
+  for (const ChannelState& ch : channels_) {
+    if (!alive_.at(ch.pe)) continue;
+    for (const SentRecord& r : ch.log) {
+      if (r.acked || !alive_.at(r.src_pe)) continue;
+      if (plan.retry_max != 0 && r.attempts >= plan.retry_max) continue;
+      if (!ev || r.next_retry_at < *ev) ev = r.next_retry_at;
+    }
+  }
+  return ev;
 }
 
 void EdenSystem::send_value(std::uint32_t src_pe, std::uint64_t channel, Obj* nf_root) {
@@ -79,6 +205,41 @@ void EdenSystem::send_stream_close(std::uint32_t src_pe, std::uint64_t channel) 
 }
 
 void EdenSystem::deliver(const Msg& m) {
+  ChannelState& ch = channels_.at(m.channel);
+  if (reliable_) {
+    if (m.kind == MsgKind::Ack) {
+      // Routed back to the data sender: settle the matching log record.
+      // The epoch must match — an ack raised before a channel re-point
+      // must not settle the replayed incarnation of the same record.
+      for (SentRecord& r : ch.log)
+        if (r.cseq == m.cseq && r.epoch == m.epoch) r.acked = true;
+      return;
+    }
+    if (!alive_.at(ch.pe)) return;        // receiver died while in flight
+    if (m.epoch != ch.epoch) return;      // stale incarnation: drop, no ack
+    send_ack(m);                          // ack duplicates too (ack loss)
+    if (m.cseq < ch.expected_cseq) {
+      injector_.stats().dedup_dropped++;  // already applied
+      return;
+    }
+    if (m.cseq > ch.expected_cseq) {
+      ch.reorder.emplace(m.cseq, m);      // hold until the gap closes
+      return;
+    }
+    apply_msg(m);
+    ch.expected_cseq++;
+    while (!ch.reorder.empty() && ch.reorder.begin()->first == ch.expected_cseq) {
+      Msg held = std::move(ch.reorder.begin()->second);
+      ch.reorder.erase(ch.reorder.begin());
+      apply_msg(held);
+      ch.expected_cseq++;
+    }
+    return;
+  }
+  apply_msg(m);
+}
+
+void EdenSystem::apply_msg(const Msg& m) {
   ChannelState& ch = channels_.at(m.channel);
   Machine& dm = *pes_.at(ch.pe);
   Capability& cap0 = dm.cap(0);
@@ -109,6 +270,149 @@ void EdenSystem::deliver(const Msg& m) {
       dm.fill_placeholder(cap0, ch.placeholder, dm.static_con(0));  // Nil
       ch.placeholder = nullptr;
       break;
+    case MsgKind::Ack:
+      throw EvalError("ack reached apply_msg");  // handled in deliver()
+  }
+}
+
+// --- crash supervision -------------------------------------------------------
+
+void EdenSystem::record_spawn(std::uint32_t pe, GlobalId f,
+                              const std::vector<Obj*>& args, bool is_tuple,
+                              std::size_t tuple_spec, std::uint64_t out_channel,
+                              bool stream) {
+  ProcessRecord rec;
+  rec.pe = pe;
+  rec.f = f;
+  rec.is_tuple = is_tuple;
+  rec.tuple_spec = tuple_spec;
+  rec.out_channel = out_channel;
+  rec.stream = stream;
+  for (Obj* a : args) {
+    Obj* o = follow(a);
+    ArgSpec spec;
+    if (o->kind == ObjKind::Placeholder && o->payload()[0] < channels_.size()) {
+      spec.is_channel = true;
+      spec.channel = o->payload()[0];
+    } else {
+      try {
+        spec.packet = pack_graph(o);
+      } catch (const PackError&) {
+        // An argument we cannot capture (e.g. a thunk closing over a
+        // placeholder): the process cannot be rebuilt elsewhere.
+        rec.recoverable = false;
+      }
+    }
+    rec.args.push_back(std::move(spec));
+  }
+  procs_.push_back(std::move(rec));
+}
+
+bool EdenSystem::outputs_complete(const ProcessRecord& rec) const {
+  if (rec.is_tuple) {
+    for (const TupleOut& to : tuple_specs_.at(rec.tuple_spec))
+      if (channels_.at(to.first.id).placeholder != nullptr) return false;
+    return true;
+  }
+  return channels_.at(rec.out_channel).placeholder == nullptr;
+}
+
+void EdenSystem::kill_pe(std::uint32_t pe, std::uint64_t now) {
+  alive_.at(pe) = false;
+  // The PE vanishes with everything addressed to it still undelivered.
+  inboxes_.at(pe) = {};
+  injector_.stats().crashes++;
+  note(pe, now, "pe " + std::to_string(pe) + " crashed");
+}
+
+void EdenSystem::repoint_and_replay(std::uint64_t channel, std::uint32_t survivor,
+                                    std::uint64_t now) {
+  ChannelState& ch = channels_.at(channel);
+  ch.pe = survivor;
+  // Clear before allocating: new_placeholder may GC the survivor, and the
+  // old placeholder (in the dead PE's heap) must not be treated as a root.
+  ch.placeholder = nullptr;
+  ch.placeholder = pes_.at(survivor)->new_placeholder(0, channel);
+  ch.expected_cseq = 0;
+  ch.reorder.clear();
+  ch.epoch++;
+  ch.last_deliver_at = 0;
+  const FaultPlan& plan = injector_.plan();
+  for (SentRecord& r : ch.log) {
+    // Records from a dead producer are dropped: the producer's own restart
+    // resends them from a reset sender (same cseq, same pure values).
+    if (!alive_.at(r.src_pe)) continue;
+    r.acked = false;
+    r.epoch = ch.epoch;
+    const std::uint32_t attempt = r.attempts++;
+    transmit(channel, r.kind, r.packet, r.cseq, r.epoch, r.src_pe, attempt, now);
+    r.cur_timeout = plan.retry_timeout;
+    r.next_retry_at = now + r.cur_timeout;
+    injector_.stats().replayed++;
+  }
+}
+
+void EdenSystem::recover_pe(std::uint32_t pe, std::uint64_t now) {
+  std::uint32_t survivor = FaultPlan::kNoPe;
+  for (std::uint32_t d = 1; d < n_pes(); ++d) {
+    const std::uint32_t cand = (pe + d) % n_pes();
+    if (alive_.at(cand)) {
+      survivor = cand;
+      break;
+    }
+  }
+  if (survivor == FaultPlan::kNoPe)
+    throw ProgramError("no surviving PE to migrate processes to");
+  note(pe, now, "pe " + std::to_string(pe) + " declared dead; migrating to pe " +
+                    std::to_string(survivor));
+  for (ProcessRecord& rec : procs_) {
+    if (rec.pe != pe) continue;
+    if (!rec.recoverable) {
+      injector_.stats().lost_processes++;
+      note(pe, now, "process lost: arguments were not capturable");
+      continue;
+    }
+    if (outputs_complete(rec)) continue;  // its results were all delivered
+    // 1. Give every input channel a fresh placeholder on the survivor and
+    //    replay its history from the senders' logs.
+    for (const ArgSpec& a : rec.args)
+      if (a.is_channel && channels_.at(a.channel).pe == pe)
+        repoint_and_replay(a.channel, survivor, now);
+    // 2. Reset the sender side of its output channels: the restarted
+    //    process recomputes and resends from cseq 0; the consumer's
+    //    dedup absorbs the prefix it already applied (purity!).
+    auto reset_out = [&](std::uint64_t chid) {
+      ChannelState& oc = channels_.at(chid);
+      oc.next_cseq = 0;
+      oc.log.clear();
+    };
+    if (rec.is_tuple)
+      for (const TupleOut& to : tuple_specs_.at(rec.tuple_spec)) reset_out(to.first.id);
+    else
+      reset_out(rec.out_channel);
+    // 3. Rebuild the argument vector in the survivor's heap. Unpacking can
+    //    GC, so every rebuilt arg is rooted while the rest materialise.
+    Machine& sm = *pes_.at(survivor);
+    std::vector<Obj*> built;
+    RootGuard guard(sm, built);
+    for (const ArgSpec& a : rec.args)
+      built.push_back(a.is_channel ? channels_.at(a.channel).placeholder
+                                   : unpack_graph(sm, 0, a.packet));
+    // 4. Re-instantiate on the survivor (paying instantiation latency),
+    //    without re-recording the spawn.
+    recording_ = false;
+    const std::uint64_t delay = now + cfg_.cost.spawn_process;
+    if (rec.is_tuple)
+      spawn_tuple_with_spec(survivor, rec.f, built, rec.tuple_spec, delay);
+    else
+      spawn_with_sender_frames(survivor, rec.f, built, nullptr,
+                               Channel{rec.out_channel, channels_.at(rec.out_channel).pe},
+                               rec.stream, delay);
+    recording_ = true;
+    rec.pe = survivor;
+    injector_.stats().restarts++;
+    note(survivor, now, "restarted process (f=" + std::to_string(rec.f) +
+                            ") from pe " + std::to_string(pe));
   }
 }
 
@@ -192,6 +496,11 @@ Tso* EdenSystem::spawn_with_sender_frames(std::uint32_t pe, GlobalId f,
                                           const std::vector<Obj*>& args, Obj* root,
                                           Channel out, bool stream,
                                           std::uint64_t start_delay) {
+  // Record f-applied processes for crash recovery. Root-based senders are
+  // not recorded: they are either re-created by their tuple process's
+  // restart (nf_tuple_split) or belong to the irreplaceable root PE.
+  if (reliable_ && recording_ && root == nullptr)
+    record_spawn(pe, f, args, /*is_tuple=*/false, 0, out.id, stream);
   Machine& m = *pes_.at(pe);
   Tso* t = (root != nullptr) ? m.spawn_enter(root, 0)
                              : m.spawn_apply(f, args, 0);
@@ -239,20 +548,28 @@ Tso* EdenSystem::spawn_sender_stream(std::uint32_t pe, Obj* root, Channel out,
   return spawn_with_sender_frames(pe, 0, {}, root, out, /*stream=*/true, start_delay);
 }
 
-Tso* EdenSystem::spawn_process_tuple(std::uint32_t pe, GlobalId f,
-                                     const std::vector<Obj*>& args,
-                                     std::vector<TupleOut> outs,
-                                     std::uint64_t start_delay) {
+Tso* EdenSystem::spawn_tuple_with_spec(std::uint32_t pe, GlobalId f,
+                                       const std::vector<Obj*>& args, std::size_t spec,
+                                       std::uint64_t start_delay) {
   Machine& m = *pes_.at(pe);
   Tso* t = m.spawn_apply(f, args, 0);
   Frame split;
   split.kind = FrameKind::Native;
   split.native = &EdenSystem::nf_tuple_split;
-  split.aux = tuple_specs_.size();
-  tuple_specs_.push_back(std::move(outs));
+  split.aux = spec;
   t->stack.insert(t->stack.begin(), std::move(split));
   t->start_time = start_delay;
   return t;
+}
+
+Tso* EdenSystem::spawn_process_tuple(std::uint32_t pe, GlobalId f,
+                                     const std::vector<Obj*>& args,
+                                     std::vector<TupleOut> outs,
+                                     std::uint64_t start_delay) {
+  const std::size_t spec = tuple_specs_.size();
+  tuple_specs_.push_back(std::move(outs));
+  if (reliable_ && recording_) record_spawn(pe, f, args, /*is_tuple=*/true, spec, 0, false);
+  return spawn_tuple_with_spec(pe, f, args, spec, start_delay);
 }
 
 Tso* EdenSystem::spawn_process_pair(std::uint32_t pe, GlobalId f,
@@ -268,7 +585,11 @@ Tso* EdenSystem::spawn_process_pair(std::uint32_t pe, GlobalId f,
 
 EdenSimDriver::EdenSimDriver(EdenSystem& sys, TraceLog* trace)
     : sys_(sys), cost_(sys.cost()), trace_(trace),
-      core_time_(sys.n_cores(), 0), core_rr_(sys.n_cores(), 0), pes_(sys.n_pes()) {}
+      core_time_(sys.n_cores(), 0), core_rr_(sys.n_cores(), 0), pes_(sys.n_pes()),
+      last_beat_(sys.n_pes(), 0), recovered_(sys.n_pes(), false) {
+  sys_.set_trace(trace);
+  next_hb_check_ = sys_.injector_.plan().heartbeat_interval;
+}
 
 void EdenSimDriver::charge(std::uint32_t pi, std::uint64_t cost, CapState state) {
   const std::uint32_t c = core_of(pi);
@@ -276,39 +597,101 @@ void EdenSimDriver::charge(std::uint32_t pi, std::uint64_t cost, CapState state)
   core_time_[c] += cost;
 }
 
-void EdenSimDriver::collect_pe(std::uint32_t pi) {
+void EdenSimDriver::collect_pe(std::uint32_t pi, bool force_major) {
   Machine& m = sys_.pe(pi);
-  const std::uint64_t copied = m.collect();
+  const std::uint64_t copied = m.collect(force_major);
   const std::uint64_t pause = cost_.gc_fixed + copied * cost_.gc_per_word;
   charge(pi, pause, CapState::Gc);
   result_.gc_count++;
   result_.gc_pause_total += pause;
 }
 
+void EdenSimDriver::service_faults(std::uint64_t now, Tso* root) {
+  (void)root;
+  if (!sys_.reliable_) return;
+  const FaultPlan& plan = sys_.injector_.plan();
+  if (plan.crashes() && !crash_done_ && now >= plan.crash_at) {
+    crash_done_ = true;
+    if (plan.crash_pe >= sys_.n_pes())
+      throw ProgramError("fault plan crashes a PE that does not exist");
+    if (plan.crash_pe == root_pe_)
+      throw ProgramError("fault plan crashes the root PE; the root process "
+                         "cannot be supervised");
+    sys_.kill_pe(plan.crash_pe, now);
+    pes_[plan.crash_pe].active = nullptr;
+  }
+  if (now >= next_hb_check_) {
+    next_hb_check_ = now + plan.heartbeat_interval;
+    for (std::uint32_t pe = 0; pe < sys_.n_pes(); ++pe) {
+      if (sys_.alive_[pe] || recovered_[pe]) continue;
+      if (now - last_beat_[pe] >= plan.heartbeat_timeout) {
+        recovered_[pe] = true;
+        sys_.recover_pe(pe, now);
+      }
+    }
+  }
+  sys_.service_retries(now);
+}
+
+std::optional<std::uint64_t> EdenSimDriver::next_fault_event() const {
+  if (!sys_.reliable_) return std::nullopt;
+  const FaultPlan& plan = sys_.injector_.plan();
+  std::optional<std::uint64_t> ev;
+  auto consider = [&](std::uint64_t t) {
+    if (!ev || t < *ev) ev = t;
+  };
+  if (plan.crashes() && !crash_done_) consider(plan.crash_at);
+  for (std::uint32_t pe = 0; pe < sys_.n_pes(); ++pe)
+    if (!sys_.alive_[pe] && !recovered_[pe]) consider(next_hb_check_);
+  if (auto r = sys_.next_retry_event()) consider(*r);
+  return ev;
+}
+
 void EdenSimDriver::deliver_ready(std::uint32_t pi) {
   auto& inbox = sys_.inboxes_.at(pi);
   const std::uint64_t now = core_time_[core_of(pi)];
   while (!inbox.empty() && inbox.top().deliver_at <= now) {
-    sys_.deliver(inbox.top());
+    // Pop before delivering: delivery can push new messages (acks, sends
+    // from co-located sender threads) into this very inbox, invalidating
+    // any reference into its storage.
+    EdenSystem::Msg m = inbox.top();
     inbox.pop();
+    sys_.deliver(m);
   }
 }
 
 EdenSimResult EdenSimDriver::run(Tso* root) {
-  std::uint64_t idle_streak = 0;
-  while (!done_ && !deadlocked_) {
-    // Core with the smallest clock runs next.
-    std::uint32_t core = 0;
-    for (std::uint32_t c = 1; c < sys_.n_cores(); ++c)
-      if (core_time_[c] < core_time_[core]) core = c;
+  // The root TSO pins its PE: crashing it is unsupportable (who would
+  // supervise the supervisor?), so the fault plan must pick another PE.
+  root_pe_ = 0;
+  for (std::uint32_t pi = 0; pi < sys_.n_pes(); ++pi)
+    if (root->id < sys_.pe(pi).tso_count() && sys_.pe(pi).tso(root->id) == root)
+      root_pe_ = pi;
 
-    // Round-robin over this core's PEs until one makes progress.
+  while (!done_ && !deadlocked_) {
+    // Core with the smallest clock runs next; cores hosting only dead PEs
+    // are frozen (their clocks never advance again).
+    std::uint32_t core = sys_.n_cores();
+    for (std::uint32_t c = 0; c < sys_.n_cores(); ++c) {
+      bool has_alive = false;
+      for (std::uint32_t pi = c; pi < sys_.n_pes(); pi += sys_.n_cores())
+        if (sys_.alive_[pi]) has_alive = true;
+      if (!has_alive) continue;
+      if (core == sys_.n_cores() || core_time_[c] < core_time_[core]) core = c;
+    }
+    if (core == sys_.n_cores()) break;  // unreachable: the root PE never dies
+
+    service_faults(core_time_[core], root);
+
+    // Round-robin over this core's live PEs until one makes progress.
     std::vector<std::uint32_t> mine;
-    for (std::uint32_t pi = core; pi < sys_.n_pes(); pi += sys_.n_cores()) mine.push_back(pi);
+    for (std::uint32_t pi = core; pi < sys_.n_pes(); pi += sys_.n_cores())
+      if (sys_.alive_[pi]) mine.push_back(pi);
     bool progressed = false;
     for (std::size_t k = 0; k < mine.size() && !progressed && !done_; ++k) {
       const std::uint32_t pi = mine[(core_rr_[core] + k) % mine.size()];
       sys_.pe_now_[pi] = core_time_[core];
+      last_beat_[pi] = core_time_[core];
       deliver_ready(pi);
       if (pe_slice(pi, root)) {
         core_rr_[core] = (core_rr_[core] + static_cast<std::uint32_t>(k) + 1) %
@@ -317,18 +700,18 @@ EdenSimResult EdenSimDriver::run(Tso* root) {
       }
     }
     if (done_) break;
-    if (progressed) {
-      idle_streak = 0;
-      continue;
-    }
+    if (progressed) continue;
 
-    // Core idle: advance time (to the next message if one is in flight).
+    // Core idle: advance time (to the next message or fault event if one
+    // is scheduled).
     std::uint64_t next_event = core_time_[core] + cost_.idle_poll;
     std::uint64_t min_msg = std::numeric_limits<std::uint64_t>::max();
     for (const auto& inbox : sys_.inboxes_)
       if (!inbox.empty()) min_msg = std::min(min_msg, inbox.top().deliver_at);
     const bool msgs_pending = min_msg != std::numeric_limits<std::uint64_t>::max();
     if (msgs_pending) next_event = std::max(next_event, min_msg);
+    const std::optional<std::uint64_t> fault_ev = next_fault_event();
+    if (fault_ev) next_event = std::min(next_event, std::max(*fault_ev, core_time_[core] + 1));
 
     bool blocked_threads = false;
     for (std::uint32_t pi : mine)
@@ -340,12 +723,31 @@ EdenSimResult EdenSimDriver::run(Tso* root) {
                        blocked_threads ? CapState::Blocked : CapState::Idle);
     core_time_[core] = next_event;
 
-    idle_streak++;
-    if (idle_streak > 4ull * (sys_.n_pes() + sys_.n_cores()) && !msgs_pending) {
+    // True quiescence — no thread running or runnable on any live PE, no
+    // message in flight, no fault event (crash / heartbeat verdict /
+    // retransmission) scheduled — is a deadlock *now*: nothing can ever
+    // wake a blocked thread again. Ask the blocked-thread analysis of
+    // every live PE why.
+    if (!msgs_pending && !fault_ev) {
       bool any = false;
       for (std::uint32_t pi = 0; pi < sys_.n_pes(); ++pi)
-        if (pes_[pi].active != nullptr || sys_.pe(pi).work_anywhere()) any = true;
-      if (!any) deadlocked_ = true;
+        if (sys_.alive_[pi] &&
+            (pes_[pi].active != nullptr || sys_.pe(pi).work_anywhere()))
+          any = true;
+      if (!any) {
+        deadlocked_ = true;
+        for (std::uint32_t pi = 0; pi < sys_.n_pes(); ++pi) {
+          if (!sys_.alive_[pi]) continue;
+          DeadlockDiagnosis d = sys_.pe(pi).diagnose_deadlock();
+          if (d.kind != DeadlockKind::None) {
+            d.pe = pi;
+            result_.diagnosis = d;
+            break;
+          }
+        }
+        if (trace_ != nullptr)
+          trace_->note(root_pe_, core_time_[core], result_.diagnosis.describe());
+      }
     }
   }
 
@@ -354,6 +756,8 @@ EdenSimResult EdenSimDriver::run(Tso* root) {
   result_.value = root->result;
   result_.deadlocked = deadlocked_;
   result_.messages = sys_.messages_sent();
+  result_.faults = sys_.injector_.stats();
+  result_.alive_pes = sys_.alive_pes();
   return result_;
 }
 
@@ -402,13 +806,39 @@ bool EdenSimDriver::pe_slice(std::uint32_t pi, Tso* root) {
 
     switch (out) {
       case StepOutcome::Ok:
+        if (ps.oom_tso != nullptr) {
+          ps.oom_tso = nullptr;  // progress: the allocation went through
+          ps.oom_streak = 0;
+        }
         continue;
-      case StepOutcome::NeedGc:
+      case StepOutcome::NeedGc: {
         // Distributed heap: collect immediately and locally — no barrier,
-        // no other PE is disturbed (§VI.A).
+        // no other PE is disturbed (§VI.A). Consecutive failures from the
+        // same thread escalate: normal GC, forced major GC, then unwind
+        // only the victim with HeapOverflow.
+        if (ps.oom_tso == t) ps.oom_streak++;
+        else { ps.oom_tso = t; ps.oom_streak = 1; }
         end_run_segment();
-        collect_pe(pi);
+        if (ps.oom_streak >= 3) {
+          m.kill_thread(c, *t, "heap overflow");
+          result_.heap_overflows++;
+          sys_.injector_.stats().heap_overflows++;
+          sys_.note(pi, core_time_[core],
+                    "heap overflow: unwound tso " + std::to_string(t->id));
+          ps.oom_tso = nullptr;
+          ps.oom_streak = 0;
+          ps.active = nullptr;
+          ps.quantum_used = 0;
+          if (t == root) {
+            done_ = true;
+            return true;
+          }
+          charge(pi, cost_.context_switch, CapState::Sync);
+          return true;
+        }
+        collect_pe(pi, /*force_major=*/ps.oom_streak >= 2);
         return true;
+      }
       case StepOutcome::Blocked:
         m.blackhole_pending_updates(c, *t);
         ps.active = nullptr;

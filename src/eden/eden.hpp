@@ -22,15 +22,28 @@
 // model as the shared-heap simulation; PEs may outnumber cores (the
 // paper's 9- and 17-PE matmul runs on 8 cores), in which case a core
 // time-slices its PEs like PVM virtual machines.
+// Fault tolerance (when EdenConfig::fault is enabled): channels carry
+// per-channel sequence numbers with acknowledgement, timeout-driven
+// retransmission with exponential backoff and receiver-side reordering /
+// deduplication, so arbitrary message loss, duplication and delay are
+// survived. Every process instantiation is recorded (function, argument
+// channels, packed constant arguments); when the heartbeat supervisor
+// declares a PE dead its processes are re-instantiated on a surviving PE
+// with their input channels re-pointed and replayed from the senders'
+// logs. Replay is sound because Eden processes are pure: the same
+// (channel, sequence-number) always denotes the same value.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
 #include "eden/pack.hpp"
 #include "rts/config.hpp"
+#include "rts/fault.hpp"
 #include "rts/machine.hpp"
 #include "trace/trace.hpp"
 
@@ -41,6 +54,10 @@ struct EdenConfig {
   std::uint32_t n_cores = 2;  // physical cores the PEs are multiplexed onto
   RtsConfig pe_rts;           // per-PE runtime config (n_caps forced to 1)
   CostModel cost;
+  /// Fault schedule; when enabled() the reliable-channel protocol and the
+  /// crash supervisor are switched on (plain mode is byte-for-byte the
+  /// baseline middleware, so fault-free figures are unaffected).
+  FaultPlan fault;
 };
 
 class EdenSystem {
@@ -100,35 +117,112 @@ class EdenSystem {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t words_sent() const { return words_sent_; }
 
+  // --- fault tolerance -----------------------------------------------------------
+  FaultInjector& injector() { return injector_; }
+  const FaultInjector& injector() const { return injector_; }
+  bool pe_alive(std::uint32_t pe) const { return alive_.at(pe); }
+  std::uint32_t alive_pes() const;
+  /// Trace log for fault/recovery annotations (rows are PE ids).
+  void set_trace(TraceLog* t) { trace_ = t; }
+
  private:
   friend class EdenSimDriver;
 
-  enum class MsgKind : std::uint8_t { Value, StreamElem, StreamClose };
+  enum class MsgKind : std::uint8_t { Value, StreamElem, StreamClose, Ack };
   struct Msg {
     std::uint64_t deliver_at = 0;
     std::uint64_t seq = 0;  // FIFO tie-break (per-channel ordering)
     std::uint64_t channel = 0;
     MsgKind kind = MsgKind::Value;
     Packet packet;
+    // Reliable-channel protocol (fault mode only).
+    std::uint64_t cseq = 0;   // per-channel sequence number
+    std::uint64_t epoch = 0;  // receiver incarnation (bumped on re-point)
+    std::uint32_t src_pe = 0;
     bool operator>(const Msg& o) const {
       return deliver_at != o.deliver_at ? deliver_at > o.deliver_at : seq > o.seq;
     }
+  };
+
+  /// One logical send on a reliable channel: kept until acknowledged (for
+  /// retransmission) and forever after (as the replay log for recovery).
+  struct SentRecord {
+    std::uint64_t cseq = 0;
+    MsgKind kind = MsgKind::Value;
+    Packet packet;
+    std::uint32_t src_pe = 0;
+    std::uint64_t epoch = 0;  // epoch of the last (re)transmission
+    bool acked = false;
+    std::uint32_t attempts = 0;       // transmissions so far (fresh RNG per try)
+    std::uint64_t next_retry_at = 0;
+    std::uint64_t cur_timeout = 0;    // grows by FaultPlan::retry_backoff
   };
 
   struct ChannelState {
     std::uint32_t pe = 0;
     Obj* placeholder = nullptr;  // nullptr once closed/filled
     std::uint64_t last_deliver_at = 0;  // FIFO: later sends never overtake
+    // Reliable-channel protocol state (fault mode only).
+    std::uint64_t next_cseq = 0;      // sender side
+    std::uint64_t expected_cseq = 0;  // receiver side
+    std::uint64_t epoch = 0;
+    std::map<std::uint64_t, Msg> reorder;  // cseq -> held out-of-order msg
+    std::vector<SentRecord> log;           // retransmit + replay buffer
+  };
+
+  /// How one argument of a recorded process can be rebuilt on another PE:
+  /// either "the placeholder of channel N" or a packed constant graph.
+  struct ArgSpec {
+    bool is_channel = false;
+    std::uint64_t channel = 0;
+    Packet packet;
+  };
+
+  /// Everything needed to re-instantiate a process after its PE crashes.
+  struct ProcessRecord {
+    std::uint32_t pe = 0;
+    GlobalId f = 0;
+    std::vector<ArgSpec> args;
+    bool recoverable = true;  // false when an argument could not be captured
+    bool is_tuple = false;
+    std::size_t tuple_spec = 0;    // into tuple_specs_ (when is_tuple)
+    std::uint64_t out_channel = 0; // single-output processes
+    bool stream = false;
   };
 
   void enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind, Packet p);
   void deliver(const Msg& m);
+  /// Applies a (deduplicated, in-order) data message to its placeholder.
+  void apply_msg(const Msg& m);
+  /// One transmission attempt over the (possibly lossy) link.
+  void transmit(std::uint64_t channel, MsgKind kind, const Packet& p,
+                std::uint64_t cseq, std::uint64_t epoch, std::uint32_t src_pe,
+                std::uint32_t attempt, std::uint64_t send_time);
+  void send_ack(const Msg& data);
+  /// Retransmits every overdue unacknowledged record (fault mode).
+  void service_retries(std::uint64_t now);
+  /// Earliest pending retransmission deadline, if any.
+  std::optional<std::uint64_t> next_retry_event() const;
+
+  // Crash supervision.
+  void kill_pe(std::uint32_t pe, std::uint64_t now);
+  void recover_pe(std::uint32_t pe, std::uint64_t now);
+  void repoint_and_replay(std::uint64_t channel, std::uint32_t survivor,
+                          std::uint64_t now);
+  void record_spawn(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
+                    bool is_tuple, std::size_t tuple_spec, std::uint64_t out_channel,
+                    bool stream);
+  bool outputs_complete(const ProcessRecord& rec) const;
+  void note(std::uint32_t pe, std::uint64_t time, std::string text);
+
   /// Virtual "now" of the core hosting `pe` (maintained by the driver).
   std::uint64_t now_of(std::uint32_t pe) const { return pe_now_.at(pe); }
 
   Tso* spawn_with_sender_frames(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
                                 Obj* root, Channel out, bool stream,
                                 std::uint64_t start_delay);
+  Tso* spawn_tuple_with_spec(std::uint32_t pe, GlobalId f, const std::vector<Obj*>& args,
+                             std::size_t spec, std::uint64_t start_delay);
 
   // Native frame handlers.
   static NativeAction nf_send_value(Machine&, Capability&, Tso&, std::size_t, Obj*);
@@ -147,15 +241,27 @@ class EdenSystem {
   std::uint64_t msg_seq_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t words_sent_ = 0;
+
+  // Fault tolerance.
+  FaultInjector injector_;
+  bool reliable_ = false;   // cfg_.fault.enabled(): reliable-channel protocol on
+  bool recording_ = true;   // off while respawning (restart must not re-record)
+  std::vector<bool> alive_;
+  std::vector<ProcessRecord> procs_;
+  TraceLog* trace_ = nullptr;
 };
 
 struct EdenSimResult {
   std::uint64_t makespan = 0;
   Obj* value = nullptr;
   bool deadlocked = false;
+  DeadlockDiagnosis diagnosis;       // why (and on which PE), when deadlocked
   std::uint64_t gc_count = 0;        // summed over PEs (all independent!)
   std::uint64_t gc_pause_total = 0;  // summed pause time (never a barrier)
   std::uint64_t messages = 0;
+  FaultStats faults;                 // what the injector did / recovery redid
+  std::uint32_t alive_pes = 0;       // PEs still alive at the end of the run
+  std::uint64_t heap_overflows = 0;  // TSOs killed by the overflow escalation
 };
 
 /// Deterministic virtual-time driver for an Eden system. Cores advance
@@ -174,13 +280,22 @@ class EdenSimDriver {
   struct PeState {
     Tso* active = nullptr;
     std::uint32_t quantum_used = 0;
+    // Heap-overflow escalation (see SimDriver::CapSim).
+    Tso* oom_tso = nullptr;
+    std::uint32_t oom_streak = 0;
   };
 
   /// Runs one slice of PE `pi` on its core; returns true if it made
   /// progress (false = the PE is idle).
   bool pe_slice(std::uint32_t pi, Tso* root);
   void deliver_ready(std::uint32_t pi);
-  void collect_pe(std::uint32_t pi);
+  void collect_pe(std::uint32_t pi, bool force_major = false);
+  /// Fires due fault-plan events at virtual time `now`: the scheduled PE
+  /// crash, heartbeat-based death detection (→ recovery) and overdue
+  /// retransmissions.
+  void service_faults(std::uint64_t now, Tso* root);
+  /// Earliest pending fault event (crash, heartbeat check, retry), if any.
+  std::optional<std::uint64_t> next_fault_event() const;
   std::uint32_t core_of(std::uint32_t pi) const { return pi % sys_.n_cores(); }
   void charge(std::uint32_t pi, std::uint64_t cost, CapState state);
 
@@ -193,6 +308,12 @@ class EdenSimDriver {
   bool done_ = false;
   bool deadlocked_ = false;
   EdenSimResult result_;
+  // Crash supervision (fault mode).
+  std::uint32_t root_pe_ = 0;
+  bool crash_done_ = false;
+  std::vector<std::uint64_t> last_beat_;  // last slice offer per PE
+  std::vector<bool> recovered_;           // dead PEs already handled
+  std::uint64_t next_hb_check_ = 0;
 };
 
 }  // namespace ph

@@ -39,6 +39,13 @@ std::int64_t hs_mod(std::int64_t a, std::int64_t b) {
 StepOutcome Machine::step(Capability& c, Tso& t) {
   bool oom = false;
   auto alloc = [&](ObjKind k, std::uint16_t tag, std::uint32_t n) -> Obj* {
+    if (fault_ != nullptr && fault_->fail_alloc(t.id)) {
+      // Injected allocation failure: behaves exactly like a full nursery,
+      // so the step stays transactional and the driver escalates normally.
+      oom = true;
+      heap_->request_gc();
+      return nullptr;
+    }
     Obj* o = heap_->alloc(c.id(), k, tag, n);
     if (o == nullptr) {
       oom = true;
@@ -263,6 +270,9 @@ StepOutcome Machine::step(Capability& c, Tso& t) {
           Frame f;
           f.kind = FrameKind::Update;
           f.obj = p;
+          // Record the body in the frame: black-holing overwrites it in the
+          // object, and kill_thread needs it to restore the thunk.
+          f.expr = body;
           t.stack.push_back(std::move(f));
           if (cfg_.blackhole == BlackholePolicy::Eager) {
             p->payload()[0] = kNoQueue;

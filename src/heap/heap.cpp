@@ -61,7 +61,18 @@ Obj* Heap::alloc(std::uint32_t nid, ObjKind kind, std::uint16_t tag,
   // generation ("large object space"); they may hold young pointers, so
   // they enter the remembered set.
   if (alloc_words(payload_words) > cfg_.nursery_words / 2) {
-    Obj* o = alloc_old(kind, tag, payload_words);
+    Obj* o = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(old_mutex_);
+      o = bump(old_ptr_, old_end_, kind, tag, payload_words);
+    }
+    if (o == nullptr) {
+      // Old generation full: ask for a collection (which majors — and
+      // grows the semispace — when the old gen is tight) and let the
+      // caller retry, exactly like a nursery failure.
+      request_gc();
+      return nullptr;
+    }
     remsets_[nid].push_back(o);
     stats_.words_allocated += alloc_words(payload_words);
     n.allocated += alloc_words(payload_words);
@@ -109,6 +120,41 @@ std::size_t Heap::nursery_used(std::uint32_t nid) const {
 
 void Heap::reset_nurseries() {
   for (Nursery& n : nurseries_) n.ptr = n.start;
+}
+
+HeapCensus Heap::census() const {
+  HeapCensus c;
+  auto scan = [&](const Word* p, const Word* end) {
+    while (p < end) {
+      const Obj* o = reinterpret_cast<const Obj*>(p);
+      c.objects_by_kind[static_cast<std::size_t>(o->kind)]++;
+      c.objects++;
+      p += alloc_words(o);
+    }
+  };
+  scan(old_base_, old_ptr_);
+  for (const Nursery& n : nurseries_) {
+    scan(n.start, n.ptr);
+    c.nursery_used_words += static_cast<std::size_t>(n.ptr - n.start);
+  }
+  c.old_used_words = old_used();
+  return c;
+}
+
+std::string HeapCensus::summary() const {
+  static const char* kKindNames[8] = {"Int",       "Con", "Thunk",       "Ind",
+                                      "BlackHole", "Pap", "Placeholder", "Fwd"};
+  std::string s = std::to_string(objects) + " objects (old " +
+                  std::to_string(old_used_words) + "w, nursery " +
+                  std::to_string(nursery_used_words) + "w):";
+  for (std::size_t k = 0; k < objects_by_kind.size(); ++k) {
+    if (objects_by_kind[k] == 0) continue;
+    s += " ";
+    s += kKindNames[k];
+    s += "=";
+    s += std::to_string(objects_by_kind[k]);
+  }
+  return s;
 }
 
 // --- collector --------------------------------------------------------------

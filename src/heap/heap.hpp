@@ -16,6 +16,7 @@
 // sequential STW collector); callers guarantee all mutators are stopped.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -42,6 +43,17 @@ struct HeapConfig {
   std::size_t old_words = 4 * 1024 * 1024;
   /// Trigger a major GC when old-gen usage exceeds this fraction.
   double major_threshold = 0.8;
+};
+
+/// A population count of the heap at one instant — attached to
+/// RtsInternalError so a consistency failure reports *what* the heap held,
+/// not just that something broke.
+struct HeapCensus {
+  std::array<std::uint64_t, 8> objects_by_kind{};  // indexed by ObjKind
+  std::uint64_t objects = 0;
+  std::size_t old_used_words = 0;
+  std::size_t nursery_used_words = 0;
+  std::string summary() const;
 };
 
 struct GcStats {
@@ -85,8 +97,10 @@ class Heap {
 
   // --- mutator interface (one nursery per capability) --------------------
   /// Allocates an object with `payload_words` payload words from nursery
-  /// `nid`. Returns nullptr if the nursery is full (caller must request a
-  /// GC and retry). Objects too large for a nursery go to the old gen.
+  /// `nid`. Returns nullptr if the space is full (caller must request a
+  /// GC and retry). Objects too large for a nursery go to the old gen;
+  /// when that is full too, a GC is requested and nullptr returned (a
+  /// major collection grows the old generation on demand).
   Obj* alloc(std::uint32_t nid, ObjKind kind, std::uint16_t tag, std::uint32_t payload_words);
 
   /// Records that `old_obj` (in the old generation) was updated to point
@@ -115,6 +129,10 @@ class Heap {
   Obj* alloc_old(ObjKind kind, std::uint16_t tag, std::uint32_t payload_words);
 
   // --- introspection -------------------------------------------------------
+  /// Walks the old generation and the nurseries counting objects by kind.
+  /// Mutators must be stopped (same precondition as collect()).
+  HeapCensus census() const;
+
   const GcStats& stats() const { return stats_; }
   std::size_t nursery_words() const { return cfg_.nursery_words; }
   std::size_t nursery_used(std::uint32_t nid) const;

@@ -92,6 +92,7 @@ struct Obj {
       case ObjKind::Ind: return 0;
       case ObjKind::Thunk: return 1;
       case ObjKind::Pap: return 1;
+      case ObjKind::BlackHole: return 1;
       default: return 0;
     }
   }
@@ -101,7 +102,12 @@ struct Obj {
       case ObjKind::Ind: return 1;
       case ObjKind::Thunk: return size;
       case ObjKind::Pap: return size;
-      default: return 0;  // Int, BlackHole, Placeholder, Fwd carry no scannable ptrs
+      // A black hole was a thunk: payload[0] became the wait-queue index
+      // but [1, size) still holds the env. Keeping those slots scanned (the
+      // evaluating TSO holds the same pointers, so nothing extra is kept
+      // alive) lets kill_thread restore the thunk after any number of GCs.
+      case ObjKind::BlackHole: return size;
+      default: return 0;  // Int, Placeholder, Fwd carry no scannable ptrs
     }
   }
 

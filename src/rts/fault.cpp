@@ -1,0 +1,190 @@
+#include "rts/fault.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace ph {
+namespace {
+
+// splitmix64 finalizer: a full-avalanche mix of one word.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Counter-based PRN for one event identity: the same (seed, stream, a, b, c)
+// always yields the same draw, independent of call order.
+double uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
+               std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = mix64(seed ^ mix64(stream));
+  h = mix64(h ^ mix64(a));
+  h = mix64(h ^ mix64(b));
+  h = mix64(h ^ mix64(c));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+enum Stream : std::uint64_t { kDrop = 1, kDup = 2, kDelay = 3, kAckDrop = 4 };
+
+}  // namespace
+
+bool FaultInjector::chance(double p, std::uint64_t stream, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) const {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform(plan_.seed, stream, a, b, c) < p;
+}
+
+bool FaultInjector::drop_message(std::uint64_t channel, std::uint64_t cseq,
+                                 std::uint32_t attempt) const {
+  return chance(plan_.drop, kDrop, channel, cseq, attempt);
+}
+
+bool FaultInjector::drop_ack(std::uint64_t channel, std::uint64_t cseq) {
+  // The extra counter key gives every ack transmission its own draw; keyed
+  // on (channel, cseq) alone a dropped ack would be dropped on every
+  // retransmission too, making the record permanently unackable.
+  return chance(plan_.drop, kAckDrop, channel, cseq, ++acks_seen_);
+}
+
+bool FaultInjector::duplicate_message(std::uint64_t channel, std::uint64_t cseq,
+                                      std::uint32_t attempt) const {
+  return chance(plan_.duplicate, kDup, channel, cseq, attempt);
+}
+
+bool FaultInjector::delay_message(std::uint64_t channel, std::uint64_t cseq,
+                                  std::uint32_t attempt) const {
+  return chance(plan_.delay, kDelay, channel, cseq, attempt);
+}
+
+bool FaultInjector::fail_alloc(ThreadId who) {
+  if (plan_.alloc_fail_at == 0) return false;
+  if (plan_.alloc_fail_tso != kNoThread && who != plan_.alloc_fail_tso) return false;
+  const std::uint64_t n = ++allocs_seen_;
+  if (n >= plan_.alloc_fail_at && n < plan_.alloc_fail_at + plan_.alloc_fail_count) {
+    stats_.alloc_faults++;
+    return true;
+  }
+  return false;
+}
+
+// --- flag parsing -----------------------------------------------------------
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s, const std::string& flag) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  bool ok = !s.empty();
+  if (ok) {
+    try {
+      v = std::stoull(s, &pos);
+    } catch (...) {
+      ok = false;
+    }
+  }
+  if (!ok || pos != s.size())
+    throw std::invalid_argument("bad fault flag argument: " + flag);
+  return v;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_flags(const std::string& flags, FaultPlan base) {
+  FaultPlan p = base;
+  std::istringstream in(flags);
+  std::string tok;
+  auto pct = [&](const std::string& arg) {
+    return static_cast<double>(parse_u64(arg, tok)) / 100.0;
+  };
+  while (in >> tok) {
+    if (tok.size() < 3 || tok[0] != '-' || tok[1] != 'F')
+      throw std::invalid_argument("unknown fault flag: " + tok);
+    const char key = tok[2];
+    const std::string arg = tok.substr(3);
+    switch (key) {
+      case 's': p.seed = parse_u64(arg, tok); break;
+      case 'd': p.drop = pct(arg); break;
+      case 'u': p.duplicate = pct(arg); break;
+      case 'l': p.delay = pct(arg); break;
+      case 'L': p.delay_extra = parse_u64(arg, tok); break;
+      case 'c': {
+        const std::size_t at = arg.find('@');
+        if (at == std::string::npos)
+          throw std::invalid_argument("expected -Fc<pe>@<time>: " + tok);
+        p.crash_pe = static_cast<std::uint32_t>(parse_u64(arg.substr(0, at), tok));
+        p.crash_at = parse_u64(arg.substr(at + 1), tok);
+        break;
+      }
+      case 'a': {
+        std::string rest = arg;
+        const std::size_t c1 = rest.find(':');
+        p.alloc_fail_at = parse_u64(rest.substr(0, c1), tok);
+        if (c1 != std::string::npos) {
+          rest = rest.substr(c1 + 1);
+          const std::size_t c2 = rest.find(':');
+          p.alloc_fail_count =
+              static_cast<std::uint32_t>(parse_u64(rest.substr(0, c2), tok));
+          if (c2 != std::string::npos)
+            p.alloc_fail_tso =
+                static_cast<ThreadId>(parse_u64(rest.substr(c2 + 1), tok));
+        }
+        break;
+      }
+      case 'r': p.retry_timeout = parse_u64(arg, tok); break;
+      case 'b': p.retry_backoff = static_cast<double>(parse_u64(arg, tok)) / 100.0; break;
+      case 'm': p.retry_max = static_cast<std::uint32_t>(parse_u64(arg, tok)); break;
+      case 'h': p.heartbeat_interval = parse_u64(arg, tok); break;
+      case 'H': p.heartbeat_timeout = parse_u64(arg, tok); break;
+      default:
+        throw std::invalid_argument("unknown fault flag: " + tok);
+    }
+  }
+  return p;
+}
+
+std::string show_fault_flags(const FaultPlan& p) {
+  std::ostringstream out;
+  auto pct = [](double d) { return static_cast<std::uint64_t>(std::llround(d * 100.0)); };
+  out << "-Fs" << p.seed;
+  if (p.drop > 0) out << " -Fd" << pct(p.drop);
+  if (p.duplicate > 0) out << " -Fu" << pct(p.duplicate);
+  if (p.delay > 0) out << " -Fl" << pct(p.delay) << " -FL" << p.delay_extra;
+  if (p.crashes()) out << " -Fc" << p.crash_pe << "@" << p.crash_at;
+  if (p.alloc_fail_at != 0) {
+    out << " -Fa" << p.alloc_fail_at << ":" << p.alloc_fail_count;
+    if (p.alloc_fail_tso != kNoThread) out << ":" << p.alloc_fail_tso;
+  }
+  out << " -Fr" << p.retry_timeout << " -Fb" << pct(p.retry_backoff);
+  if (p.retry_max != 0) out << " -Fm" << p.retry_max;
+  out << " -Fh" << p.heartbeat_interval << " -FH" << p.heartbeat_timeout;
+  return out.str();
+}
+
+// --- deadlock diagnosis rendering -------------------------------------------
+
+std::string DeadlockDiagnosis::describe() const {
+  std::ostringstream out;
+  if (pe != FaultPlan::kNoPe) out << "pe " << pe << ": ";
+  switch (kind) {
+    case DeadlockKind::None:
+      out << "no deadlock";
+      break;
+    case DeadlockKind::NonTermination: {
+      out << "<<loop>> NonTermination: blocked cycle ";
+      for (ThreadId t : cycle) out << "tso " << t << " -> ";
+      out << "tso " << (cycle.empty() ? kNoThread : cycle.front());
+      break;
+    }
+    case DeadlockKind::Starvation: {
+      out << "Starvation: tso(s)";
+      for (ThreadId t : starved) out << " " << t;
+      out << " blocked with no producer";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ph

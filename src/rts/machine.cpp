@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <unordered_map>
 
 namespace ph {
 
@@ -449,10 +451,119 @@ void Machine::blackhole_pending_updates(Capability& c, Tso& t) {
     Obj* target = f.obj;
     auto lk = lock_obj(target);
     if (target->kind == ObjKind::Thunk) {
+      // Stash the body so kill_thread can restore the thunk if this
+      // thread is unwound before completing the update.
+      f.expr = static_cast<ExprId>(target->payload()[0]);
       target->payload()[0] = kNoQueue;
       set_kind_release(target, ObjKind::BlackHole);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Thread unwinding & deadlock diagnosis
+// ---------------------------------------------------------------------------
+
+void Machine::kill_thread(Capability& c, Tso& t, const char* why) {
+  (void)c;
+  // If the victim is itself blocked it sits in some wait queue; pull it out
+  // so a later wake cannot resurrect a finished thread.
+  if (t.state == ThreadState::BlockedOnBlackHole ||
+      t.state == ThreadState::BlockedOnPlaceholder) {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    for (WaitQueue& q : wait_queues_) {
+      if (!q.in_use) continue;
+      auto it = std::find(q.waiters.begin(), q.waiters.end(), t.id);
+      if (it != q.waiters.end()) {
+        q.waiters.erase(it);
+        cap(t.home_cap).n_blocked.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  // Undo the thread's claims: every black hole it owns becomes a thunk
+  // again (the Update frame carries the body expression; the environment
+  // pointers in the object were never touched), so waiters — woken below —
+  // can redo the evaluation instead of hanging forever.
+  for (auto it = t.stack.rbegin(); it != t.stack.rend(); ++it) {
+    Frame& f = *it;
+    if (f.kind != FrameKind::Update || f.obj == nullptr) continue;
+    Obj* o = f.obj;
+    auto lk = lock_obj(o);
+    if (o->kind != ObjKind::BlackHole) continue;  // already updated / never holed
+    if (f.expr != kNoExpr) {
+      wake_queue_of(o);  // waiters re-enter and find a thunk
+      o->payload()[0] = static_cast<Word>(f.expr);
+      set_kind_release(o, ObjKind::Thunk);
+    } else {
+      // No recorded body (shouldn't happen): at least unblock the waiters.
+      wake_queue_of(o);
+    }
+  }
+  if (c.spark_thread == &t) c.spark_thread = nullptr;
+  t.stack.clear();
+  t.code = Code{};
+  t.result = nullptr;
+  t.state = ThreadState::Finished;
+  t.error = why;
+  stats_.threads_killed++;
+}
+
+DeadlockDiagnosis Machine::diagnose_deadlock() {
+  DeadlockDiagnosis d;
+  // Owner map: a black hole belongs to the thread holding its Update frame.
+  std::unordered_map<const Obj*, ThreadId> owner;
+  for (auto& tp : tsos_)
+    for (const Frame& f : tp->stack)
+      if (f.kind == FrameKind::Update && f.obj != nullptr &&
+          f.obj->kind == ObjKind::BlackHole)
+        owner[f.obj] = tp->id;
+
+  auto is_blocked = [](const Tso& t) {
+    return t.state == ThreadState::BlockedOnBlackHole ||
+           t.state == ThreadState::BlockedOnPlaceholder;
+  };
+  // Successor edge: the owner of the object the thread is blocked on.
+  // (Blocking leaves code as Enter(obj) — see Machine::block_on.)
+  auto succ = [&](const Tso& t) -> ThreadId {
+    if (!is_blocked(t) || t.code.ptr == nullptr) return kNoThread;
+    Obj* o = follow(t.code.ptr);
+    if (o->kind == ObjKind::BlackHole) {
+      auto it = owner.find(o);
+      if (it != owner.end()) return it->second;
+    }
+    return kNoThread;  // placeholder or ownerless black hole: no local producer
+  };
+
+  // Each node has at most one successor, so a colour-marked walk finds
+  // every cycle in O(threads): 0 = unseen, 1 = on the current path, 2 = done.
+  std::vector<std::uint8_t> colour(tsos_.size(), 0);
+  for (auto& tp : tsos_) {
+    if (!is_blocked(*tp) || colour[tp->id] != 0) continue;
+    std::vector<ThreadId> path;
+    ThreadId cur = tp->id;
+    while (cur != kNoThread && colour[cur] == 0) {
+      colour[cur] = 1;
+      path.push_back(cur);
+      cur = succ(*tsos_[cur]);
+    }
+    if (cur != kNoThread && colour[cur] == 1 && d.cycle.empty()) {
+      auto start = std::find(path.begin(), path.end(), cur);
+      d.cycle.assign(start, path.end());
+    }
+    for (ThreadId id : path) colour[id] = 2;
+  }
+  for (auto& tp : tsos_) {
+    if (!is_blocked(*tp)) continue;
+    const bool in_cycle =
+        std::find(d.cycle.begin(), d.cycle.end(), tp->id) != d.cycle.end();
+    if (!in_cycle && succ(*tp) == kNoThread) d.starved.push_back(tp->id);
+  }
+  if (!d.cycle.empty())
+    d.kind = DeadlockKind::NonTermination;
+  else if (!d.starved.empty())
+    d.kind = DeadlockKind::Starvation;
+  return d;
 }
 
 // ---------------------------------------------------------------------------
@@ -508,9 +619,14 @@ bool valid_after_gc(const Heap& h, const Obj* p) {
 void Machine::validate_roots(const char* when) {
   auto check = [&](const Obj* p, const char* what, ThreadId tid) {
     if (!valid_after_gc(*heap_, p)) {
-      std::fprintf(stderr, "GC ROOT BUG (%s): %s of tso %u -> %p kind=%d\n", when, what,
-                   tid, static_cast<const void*>(p), p ? static_cast<int>(p->kind) : -1);
-      std::abort();
+      const int kind = p ? static_cast<int>(p->kind) : -1;
+      std::string msg = std::string("GC root consistency failure (") + when +
+                        "): " + what + " of tso " + std::to_string(tid) +
+                        " points outside the live heap (object kind " +
+                        std::to_string(kind) + ")";
+      HeapCensus census = heap_->census();
+      msg += "; heap: " + census.summary();
+      throw RtsInternalError(msg, tid, what, kind, std::move(census));
     }
   };
   for (auto& tp : tsos_) {
@@ -551,13 +667,23 @@ void Machine::remove_root_walker(std::size_t idx) { root_walkers_.at(idx) = null
 
 Obj* Machine::alloc_with_gc(std::uint32_t capid, ObjKind kind, std::uint16_t tag,
                             std::uint32_t payload_words) {
-  Obj* o = heap_->alloc(capid, kind, tag, payload_words);
+  auto try_alloc = [&]() -> Obj* {
+    if (fault_ != nullptr && fault_->fail_alloc(kNoThread)) return nullptr;
+    return heap_->alloc(capid, kind, tag, payload_words);
+  };
+  Obj* o = try_alloc();
   if (o != nullptr) return o;
   collect();
-  o = heap_->alloc(capid, kind, tag, payload_words);
-  if (o == nullptr)
-    throw HeapError("allocation failed even after GC; raise nursery_words");
-  return o;
+  o = try_alloc();
+  if (o != nullptr) return o;
+  // Escalate: a forced major collection compacts and grows the old
+  // generation, so this only fails when the request itself is hopeless.
+  collect(/*force_major=*/true);
+  o = try_alloc();
+  if (o != nullptr) return o;
+  throw HeapOverflow(kNoThread,
+                     "allocation of " + std::to_string(payload_words) +
+                         " payload words failed even after a forced major GC");
 }
 
 }  // namespace ph

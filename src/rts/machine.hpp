@@ -26,6 +26,7 @@
 #include "core/program.hpp"
 #include "heap/heap.hpp"
 #include "rts/config.hpp"
+#include "rts/fault.hpp"
 #include "rts/tso.hpp"
 #include "rts/wsdeque.hpp"
 
@@ -106,6 +107,7 @@ struct MachineStats {
   std::atomic<std::uint64_t> duplicate_updates{0};  // wasted work seen at update
   std::uint64_t blocked_on_blackhole = 0;
   std::uint64_t blocked_on_placeholder = 0;
+  std::uint64_t threads_killed = 0;  // unwound by kill_thread (HeapOverflow, ...)
 };
 
 class Machine {
@@ -148,6 +150,25 @@ class Machine {
   Tso* spawn_deep_force(Obj* p, std::uint32_t cap, bool enqueue = true);
   Tso* tso(ThreadId id) { return tsos_.at(id).get(); }
   std::size_t tso_count() const { return tsos_.size(); }
+
+  /// Unwinds thread `t` without running it: every black hole it owns is
+  /// restored to a re-evaluable thunk (the Update frame recorded the body
+  /// expression when the thunk was black-holed) and its waiters are woken
+  /// to retry. The thread finishes with result == nullptr and `error` set.
+  /// Used by the drivers to make HeapOverflow kill only its victim.
+  void kill_thread(Capability& c, Tso& t, const char* why);
+
+  /// Blocked-thread analysis (replaces the idle-spin deadlock heuristic):
+  /// follows each blocked thread to the owner of the black hole it waits
+  /// on and reports genuine cycles (NonTermination) separately from
+  /// starvation (no local producer — e.g. an unfed Eden placeholder).
+  /// Mutators must be quiescent.
+  DeadlockDiagnosis diagnose_deadlock();
+
+  /// Attaches a fault injector (forced allocation failures); non-owning,
+  /// nullptr detaches.
+  void set_fault(FaultInjector* f) { fault_ = f; }
+  FaultInjector* fault() const { return fault_; }
 
   // --- scheduling primitives (shared by both drivers) -----------------------
   /// Picks the next thread for `c`: run queue first, then local sparks
@@ -199,13 +220,17 @@ class Machine {
   std::size_t add_root_walker(RootWalkFn fn);
   void remove_root_walker(std::size_t idx);
   /// Allocation helper for host code running while mutators are stopped:
-  /// retries through a GC (protect live temporaries with root walkers).
+  /// retries through a GC, then a forced major GC (which grows the old
+  /// generation), before raising HeapOverflow (protect live temporaries
+  /// with root walkers).
   Obj* alloc_with_gc(std::uint32_t cap, ObjKind kind, std::uint16_t tag,
                      std::uint32_t payload_words);
 
-  /// Debug aid: verifies every root points into a live space (enable with
-  /// the PARHASK_GC_VALIDATE environment variable; used to chase missed
-  /// roots). `when` labels the failure report.
+  /// Verifies every root points into a live space (enable after each GC
+  /// with the PARHASK_GC_VALIDATE environment variable; used to chase
+  /// missed roots). A failure raises RtsInternalError carrying the
+  /// offending TSO/slot/object header and a heap census. `when` labels
+  /// the report.
   void validate_roots(const char* when);
 
   MachineStats& stats() { return stats_; }
@@ -263,6 +288,7 @@ class Machine {
   static constexpr std::size_t kStripes = 64;
   std::array<std::mutex, kStripes> stripes_;
   bool concurrent_ = false;
+  FaultInjector* fault_ = nullptr;
 
   MachineStats stats_;
 };

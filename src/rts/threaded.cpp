@@ -22,7 +22,9 @@ ThreadedResult ThreadedDriver::run(Tso* main_tso) {
   ThreadedResult r;
   r.value = main_tso->result;
   r.deadlocked = deadlocked_.load();
+  r.diagnosis = diagnosis_;
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.heap_overflows = heap_overflows_.load();
   return r;
 }
 
@@ -32,7 +34,7 @@ void ThreadedDriver::barrier() {
   gc_arrived_++;
   if (gc_arrived_ == m_.n_caps()) {
     // Last to park: run the sequential stop-the-world collection.
-    if (!done_.load()) m_.collect();
+    if (!done_.load()) m_.collect(force_major_.exchange(false));
     gc_arrived_ = 0;
     gc_epoch_++;
     gc_cv_.notify_all();
@@ -48,6 +50,10 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
   Tso* active = nullptr;
   std::uint32_t idle_spins = 0;
   std::uint32_t deadlock_strikes = 0;
+  // Heap-overflow escalation (mirrors SimDriver): consecutive NeedGc from
+  // the same thread — 1 → normal GC, 2 → forced major, 3 → kill it.
+  Tso* oom_tso = nullptr;
+  std::uint32_t oom_streak = 0;
   const RtsConfig& cfg = m_.config();
 
   auto finish = [&] {
@@ -78,6 +84,13 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
         if (progress_.load() == before && !m_.work_anywhere() &&
             !m_.heap().gc_requested() && !done_.load()) {
           if (++deadlock_strikes >= 5) {
+            // Five quiet wall-clock checks: every worker is idle and no
+            // wakeup source remains. Analyse the wait-for graph (all TSO
+            // stacks are quiescent now) so the report names the cycle.
+            {
+              std::lock_guard<std::mutex> lk(gc_mutex_);
+              if (!done_.load()) diagnosis_ = m_.diagnose_deadlock();
+            }
             deadlocked_.store(true);
             finish();
             return;
@@ -105,8 +118,30 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
       for (std::uint32_t k = 0; k < batch; ++k) {
         const StepOutcome out = m_.step(c, *active);
         steps++;
-        if (out == StepOutcome::Ok) continue;
+        if (out == StepOutcome::Ok) {
+          if (oom_tso != nullptr) {
+            oom_tso = nullptr;  // progress: the allocation went through
+            oom_streak = 0;
+          }
+          continue;
+        }
         if (out == StepOutcome::NeedGc) {
+          if (oom_tso == active) oom_streak++;
+          else { oom_tso = active; oom_streak = 1; }
+          if (oom_streak == 2) force_major_.store(true);
+          if (oom_streak >= 3) {
+            m_.kill_thread(c, *active, "heap overflow");
+            heap_overflows_.fetch_add(1, std::memory_order_relaxed);
+            oom_tso = nullptr;
+            oom_streak = 0;
+            if (active == main_tso) {
+              finish();
+              return;
+            }
+            active = nullptr;
+            release = true;
+            break;
+          }
           barrier();  // park; the step is retried after the collection
           continue;
         }

@@ -26,7 +26,9 @@ namespace ph {
 struct ThreadedResult {
   Obj* value = nullptr;
   bool deadlocked = false;
+  DeadlockDiagnosis diagnosis;       // why, when deadlocked
   double seconds = 0.0;
+  std::uint64_t heap_overflows = 0;  // TSOs killed by the overflow escalation
 };
 
 class ThreadedDriver {
@@ -50,6 +52,9 @@ class ThreadedDriver {
   std::atomic<bool> done_{false};
   std::atomic<bool> deadlocked_{false};
   std::atomic<std::uint64_t> progress_{0};
+  std::atomic<bool> force_major_{false};  // next barrier collection majors
+  std::atomic<std::uint64_t> heap_overflows_{0};
+  DeadlockDiagnosis diagnosis_;  // written under gc_mutex_ before done_
 };
 
 }  // namespace ph

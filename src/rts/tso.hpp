@@ -95,6 +95,9 @@ struct Tso {
   Code code;
   std::vector<Frame> stack;
   Obj* result = nullptr;  // valid once state == Finished
+  /// Set by Machine::kill_thread when the thread was unwound instead of
+  /// finishing normally (e.g. "heap overflow"); static-lifetime string.
+  const char* error = nullptr;
 
   /// Virtual time before which the thread must not be scheduled (used by
   /// the Eden driver to model process-instantiation latency).

@@ -53,9 +53,7 @@ void SimDriver::slice(std::uint32_t ci, Tso* main_tso) {
   CapSim& cs = caps_[ci];
   Capability& c = m_.cap(ci);
 
-  if (hook_) {
-    if (hook_(ci, cs.time)) idle_streak_ = 0;
-  }
+  if (hook_) hook_(ci, cs.time);
 
   if (cs.active == nullptr) {
     Tso* t = m_.schedule_next(c);
@@ -64,7 +62,6 @@ void SimDriver::slice(std::uint32_t ci, Tso* main_tso) {
       charge(ci, t != nullptr ? cost_.steal_hit : cost_.steal_miss, CapState::Sync);
     }
     if (t != nullptr) {
-      idle_streak_ = 0;
       c.idle = false;
       cs.active = t;
       t->state = ThreadState::Running;
@@ -77,7 +74,6 @@ void SimDriver::slice(std::uint32_t ci, Tso* main_tso) {
     idle_tick(ci);
     return;
   }
-  idle_streak_ = 0;
   run_mutator(ci, main_tso);
 }
 
@@ -93,24 +89,25 @@ void SimDriver::idle_tick(std::uint32_t ci) {
   const bool has_blocked = c.n_blocked.load(std::memory_order_relaxed) > 0;
   charge(ci, cost_.idle_poll, has_blocked ? CapState::Blocked : CapState::Idle);
 
-  // Deadlock heuristic: every capability idled several consecutive times
-  // with no runnable work, no sparks and no pending external events.
-  idle_streak_++;
-  if (idle_streak_ > 4ull * m_.n_caps()) {
-    bool any_active = false;
-    for (const CapSim& k : caps_)
-      if (k.active != nullptr) any_active = true;
-    if (!any_active && !m_.work_anywhere() && !gc_pending()) {
-      if (pending_) {
-        if (auto next = pending_()) {
-          // External events still in flight: fast-forward to them.
-          cs.time = std::max(cs.time, *next);
-          idle_streak_ = 0;
-          return;
-        }
+  // Quiescence check. In virtual time this is exact, not a heuristic: a
+  // blocked thread can only be woken by a running thread or an external
+  // event, so when no capability is active, no work exists anywhere and no
+  // external event is pending, the blocked threads are stuck for good.
+  // Walk the wait-for graph to say *why* (cycle vs starvation).
+  bool any_active = false;
+  for (const CapSim& k : caps_)
+    if (k.active != nullptr) any_active = true;
+  if (!any_active && !m_.work_anywhere() && !gc_pending()) {
+    if (pending_) {
+      if (auto next = pending_()) {
+        // External events still in flight: fast-forward to them.
+        cs.time = std::max(cs.time, *next);
+        return;
       }
-      deadlocked_ = true;
     }
+    deadlocked_ = true;
+    result_.diagnosis = m_.diagnose_deadlock();
+    if (trace_ != nullptr) trace_->note(ci, cs.time, result_.diagnosis.describe());
   }
 }
 
@@ -163,13 +160,41 @@ void SimDriver::run_mutator(std::uint32_t ci, Tso* main_tso) {
 
     switch (out) {
       case StepOutcome::Ok:
+        if (cs.oom_tso != nullptr) {
+          cs.oom_tso = nullptr;  // progress: the allocation went through
+          cs.oom_streak = 0;
+        }
         continue;
-      case StepOutcome::NeedGc:
-        // This capability cannot allocate: it is at the barrier now; the
-        // active thread will retry its step after the collection.
+      case StepOutcome::NeedGc: {
+        // This capability cannot allocate. Escalate on repeated failure of
+        // the same thread: 1st → normal GC, 2nd → forced major GC (grows
+        // the old generation), 3rd → unwind just this thread.
+        if (cs.oom_tso == t) cs.oom_streak++;
+        else { cs.oom_tso = t; cs.oom_streak = 1; }
+        if (cs.oom_streak == 2) force_major_ = true;
+        if (cs.oom_streak >= 3) {
+          m_.kill_thread(c, *t, "heap overflow");
+          result_.heap_overflows++;
+          if (m_.fault() != nullptr) m_.fault()->stats().heap_overflows++;
+          if (trace_ != nullptr)
+            trace_->note(ci, start + elapsed,
+                         "heap overflow: unwound tso " + std::to_string(t->id));
+          cs.oom_tso = nullptr;
+          cs.oom_streak = 0;
+          end_run_segment();
+          if (t == main_tso) {
+            main_done_ = true;
+            return;
+          }
+          cs.active = nullptr;
+          cs.quantum_used = 0;
+          charge(ci, cost_.context_switch, CapState::Sync);
+          return;
+        }
         end_run_segment();
         arrive_at_barrier(ci);
         return;
+      }
       case StepOutcome::Blocked:
         m_.blackhole_pending_updates(c, *t);
         cs.active = nullptr;
@@ -224,7 +249,8 @@ void SimDriver::finish_gc() {
     for (std::uint32_t i = 0; i < m_.n_caps(); ++i)
       trace_->record(i, caps_[i].arrive_time, gc_start, CapState::Sync);
   // ...then the sequential collector runs while all mutators are stopped.
-  const std::uint64_t copied = m_.collect();
+  const std::uint64_t copied = m_.collect(force_major_);
+  force_major_ = false;
   const std::uint64_t pause = cost_.gc_fixed + copied * cost_.gc_per_word;
   result_.gc_count++;
   result_.gc_pause_total += pause;

@@ -30,9 +30,11 @@ struct SimResult {
   std::uint64_t makespan = 0;      // virtual time at which `main` finished
   Obj* value = nullptr;            // main thread's result (WHNF)
   bool deadlocked = false;
+  DeadlockDiagnosis diagnosis;     // why, when deadlocked (cycle vs starvation)
   std::uint64_t gc_count = 0;
   std::uint64_t gc_pause_total = 0;  // summed virtual GC pause time
   std::uint64_t mutator_steps = 0;   // total reduction steps over all TSOs
+  std::uint64_t heap_overflows = 0;  // TSOs killed by the overflow escalation
 };
 
 class SimDriver {
@@ -44,7 +46,7 @@ class SimDriver {
 
   /// Extra work performed each slice before scheduling — used by the Eden
   /// layer to deliver messages at the right virtual time. Returns true if
-  /// it produced new work (resets the idle/deadlock heuristic).
+  /// it produced new work.
   using Hook = std::function<bool(std::uint32_t cap, std::uint64_t now)>;
   void set_slice_hook(Hook h) { hook_ = std::move(h); }
 
@@ -62,6 +64,10 @@ class SimDriver {
     bool arrived = false;          // parked at the GC barrier
     std::uint64_t arrive_time = 0;
     std::uint32_t quantum_used = 0;  // steps of the active thread's quantum spent
+    // Heap-overflow escalation: consecutive NeedGc outcomes from the same
+    // thread (1 → normal GC, 2 → forced major GC, 3 → kill the thread).
+    Tso* oom_tso = nullptr;
+    std::uint32_t oom_streak = 0;
   };
 
   void slice(std::uint32_t ci, Tso* main_tso);
@@ -78,7 +84,7 @@ class SimDriver {
   std::vector<CapSim> caps_;
   Hook hook_;
   PendingFn pending_;
-  std::uint64_t idle_streak_ = 0;
+  bool force_major_ = false;  // next barrier collection must be major
   bool main_done_ = false;
   bool deadlocked_ = false;
   SimResult result_;

@@ -42,6 +42,10 @@ void TraceLog::record(std::uint32_t row, std::uint64_t start, std::uint64_t end,
   r.push_back(Segment{start, end, state});
 }
 
+void TraceLog::note(std::uint32_t row, std::uint64_t time, std::string text) {
+  notes_.push_back(Note{row, time, std::move(text)});
+}
+
 std::uint64_t TraceLog::end_time() const {
   std::uint64_t t = 0;
   for (const auto& r : rows_)
@@ -116,6 +120,15 @@ std::string TraceLog::to_csv() const {
   for (std::uint32_t i = 0; i < n_rows(); ++i)
     for (const Segment& s : rows_[i])
       out << i << "," << s.start << "," << s.end << "," << cap_state_name(s.state) << "\n";
+  for (const Note& n : notes_) {
+    std::string quoted = n.text;
+    std::string::size_type pos = 0;
+    while ((pos = quoted.find('"', pos)) != std::string::npos) {
+      quoted.insert(pos, 1, '"');
+      pos += 2;
+    }
+    out << "note," << n.row << "," << n.time << ",\"" << quoted << "\"\n";
+  }
   return out.str();
 }
 

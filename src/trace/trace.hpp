@@ -32,6 +32,16 @@ struct Segment {
   CapState state = CapState::Idle;
 };
 
+/// A point annotation on a row's timeline: fault events (message drops,
+/// retransmits, PE crashes and restarts), heap overflows, deadlock
+/// verdicts. Exported with the CSV so recovery activity is visible in the
+/// same artefact as the activity profile.
+struct Note {
+  std::uint32_t row = 0;
+  std::uint64_t time = 0;
+  std::string text;
+};
+
 class TraceLog {
  public:
   explicit TraceLog(std::uint32_t n_rows) : rows_(n_rows) {}
@@ -39,6 +49,10 @@ class TraceLog {
   /// Appends [start, end) in `state` to row `row`. Adjacent segments in
   /// the same state are merged; zero-length segments are dropped.
   void record(std::uint32_t row, std::uint64_t start, std::uint64_t end, CapState state);
+
+  /// Attaches a point annotation to row `row` at `time`.
+  void note(std::uint32_t row, std::uint64_t time, std::string text);
+  const std::vector<Note>& notes() const { return notes_; }
 
   std::uint32_t n_rows() const { return static_cast<std::uint32_t>(rows_.size()); }
   const std::vector<Segment>& row(std::uint32_t i) const { return rows_.at(i); }
@@ -54,11 +68,13 @@ class TraceLog {
   /// Per-row utilisation summary table.
   std::string summary() const;
 
-  /// "row,start,end,state" lines for external tooling (EdenTV-like).
+  /// "row,start,end,state" lines for external tooling (EdenTV-like),
+  /// followed by one `note,row,time,"text"` line per annotation.
   std::string to_csv() const;
 
  private:
   std::vector<std::vector<Segment>> rows_;
+  std::vector<Note> notes_;
 };
 
 }  // namespace ph
