@@ -17,6 +17,7 @@
 #include <cassert>
 
 #include "rts/machine.hpp"
+#include "rts/schedtest.hpp"
 
 namespace ph {
 
@@ -252,6 +253,18 @@ StepOutcome Machine::step(Capability& c, Tso& t) {
     // =====================================================================
     case CodeMode::Enter: {
       Obj* p = follow(t.code.ptr);
+      // Yield points in the entry window: between observing the object and
+      // locking it, another thread may enter/update/black-hole the same
+      // thunk (the duplicate-work race of §IV.A.3), or update the black
+      // hole we are about to block on. Both hooks sit BEFORE lock_obj —
+      // a serialised scenario thread must never park holding a stripe
+      // lock, or the schedule controller could grant a thread that then
+      // blocks on that lock outside the controller's sight.
+      if (kind_acquire(p) == ObjKind::BlackHole ||
+          kind_acquire(p) == ObjKind::Placeholder)
+        sched_hook::point(SchedPoint::BlackHoleEnter, t.id);
+      else
+        sched_hook::point(SchedPoint::ThunkEnter, t.id);
       // Serialise the entry transition against concurrent updates /
       // black-holing when a threaded driver is active (no-op otherwise);
       // the kind may have changed between follow() and acquiring the lock,

@@ -38,7 +38,7 @@ Heap::Heap(const HeapConfig& cfg) : cfg_(cfg) {
 Heap::~Heap() {
   delete[] nursery_base_;
   delete[] old_base_;
-  for (Word* b : static_blocks_) delete[] b;
+  for (const StaticBlock& b : static_blocks_) delete[] b.base;
 }
 
 Obj* Heap::bump(Word*& ptr, Word* end, ObjKind kind, std::uint16_t tag,
@@ -74,15 +74,13 @@ Obj* Heap::alloc(std::uint32_t nid, ObjKind kind, std::uint16_t tag,
       return nullptr;
     }
     remsets_[nid].push_back(o);
-    stats_.words_allocated += alloc_words(payload_words);
     n.allocated += alloc_words(payload_words);
     return o;
   }
   Obj* o = bump(n.ptr, n.end, kind, tag, payload_words);
-  if (o != nullptr) {
-    stats_.words_allocated += alloc_words(payload_words);
-    n.allocated += alloc_words(payload_words);
-  }
+  // No shared counter here: words_allocated is derived from the per-nursery
+  // single-writer `allocated` fields when stats() is read (was a data race).
+  if (o != nullptr) n.allocated += alloc_words(payload_words);
   return o;
 }
 
@@ -104,13 +102,33 @@ Obj* Heap::alloc_static(ObjKind kind, std::uint16_t tag, std::uint32_t payload_w
   const std::size_t need = alloc_words(payload_words);
   if (static_ptr_ == nullptr || static_ptr_ + need > static_end_) {
     const std::size_t block = std::max(kStaticBlockWords, need);
-    static_blocks_.push_back(new Word[block]);
-    static_ptr_ = static_blocks_.back();
+    static_blocks_.push_back(StaticBlock{new Word[block], block});
+    static_ptr_ = static_blocks_.back().base;
     static_end_ = static_ptr_ + block;
   }
   Obj* o = bump(static_ptr_, static_end_, kind, tag, payload_words);
   o->flags |= kFlagStatic;
   return o;
+}
+
+bool Heap::in_static(const Obj* p) const {
+  const Word* w = reinterpret_cast<const Word*>(p);
+  for (const StaticBlock& b : static_blocks_)
+    if (w >= b.base && w < b.base + b.words) return true;
+  return false;
+}
+
+void Heap::walk_objects(const ObjVisitor& visit) {
+  auto scan = [&](Word* p, const Word* limit, const char* region, std::uint32_t idx) {
+    while (p < limit) {
+      Obj* o = reinterpret_cast<Obj*>(p);
+      visit(o, region, idx, limit);
+      p += alloc_words(o);
+    }
+  };
+  scan(old_base_, old_ptr_, "old", 0);
+  for (std::uint32_t i = 0; i < nurseries_.size(); ++i)
+    scan(nurseries_[i].start, nurseries_[i].ptr, "nursery", i);
 }
 
 std::size_t Heap::nursery_used(std::uint32_t nid) const {

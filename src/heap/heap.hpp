@@ -133,7 +133,15 @@ class Heap {
   /// Mutators must be stopped (same precondition as collect()).
   HeapCensus census() const;
 
-  const GcStats& stats() const { return stats_; }
+  /// words_allocated is summed from the per-nursery counters on demand:
+  /// each nursery has a single writer (its owning capability), so the
+  /// mutator allocation fast path never touches shared mutable state.
+  /// Like census(), call at rest — not while mutators are running.
+  const GcStats& stats() const {
+    stats_.words_allocated = 0;
+    for (const Nursery& n : nurseries_) stats_.words_allocated += n.allocated;
+    return stats_;
+  }
   std::size_t nursery_words() const { return cfg_.nursery_words; }
   std::size_t nursery_used(std::uint32_t nid) const;
   std::size_t old_used() const { return static_cast<std::size_t>(old_ptr_ - old_base_); }
@@ -148,6 +156,23 @@ class Heap {
     auto w = reinterpret_cast<const Word*>(p);
     return w >= nursery_base_ && w < nursery_base_ + nursery_slab_words_;
   }
+
+  /// True if `p` points into the static arena (immortal objects). Linear
+  /// in the number of static blocks — fine for auditing, not for hot paths
+  /// (mutators use the kFlagStatic header bit instead).
+  bool in_static(const Obj* p) const;
+
+  /// Walks every allocated object in the old generation and the live
+  /// nursery prefixes, in address order. `visit` receives the object, a
+  /// region label ("old" / "nursery"), the region index (nursery id; 0 for
+  /// old), and the region's allocation limit — so an auditor can validate
+  /// the header *before* the walk advances by its footprint (a corrupt
+  /// size must make `visit` throw, or the walk would stride into garbage).
+  /// Mutators must be stopped.
+  using ObjVisitor =
+      std::function<void(Obj* o, const char* region, std::uint32_t region_index,
+                         const Word* limit)>;
+  void walk_objects(const ObjVisitor& visit);
 
  private:
   friend class Gc;
@@ -178,13 +203,17 @@ class Heap {
 
   std::vector<std::vector<Obj*>> remsets_;  // per nursery/capability
 
-  std::vector<Word*> static_blocks_;
+  struct StaticBlock {
+    Word* base;
+    std::size_t words;
+  };
+  std::vector<StaticBlock> static_blocks_;
   Word* static_ptr_ = nullptr;
   Word* static_end_ = nullptr;
   std::mutex static_mutex_;
 
   std::atomic<bool> gc_requested_{false};
-  GcStats stats_;
+  mutable GcStats stats_;  // words_allocated refreshed by stats()
   std::uint64_t last_live_words_ = 0;
 };
 

@@ -73,6 +73,9 @@ struct RtsConfig {
   bool gc_prune_sparks = true;
   /// Maximum run-queue imbalance tolerated before PushOnPoll offloads.
   std::uint32_t push_batch = 4;
+  /// GHC's +RTS -DS: run the sanity auditor (full heap walk + scheduler
+  /// invariant checks) after every collection and at driver shutdown.
+  bool sanity = false;
 
   std::string name = "custom";
 };

@@ -70,6 +70,16 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
       case 'S':
         cfg.spark_pool_capacity = static_cast<std::uint32_t>(parse_num(rest, f));
         break;
+      case 'D': {
+        if (rest.empty()) throw FlagError("missing debug letters in " + f);
+        for (char ch : rest) {
+          switch (ch) {
+            case 'S': cfg.sanity = true; break;
+            default: throw FlagError("unrecognised RTS flag: " + f);
+          }
+        }
+        break;
+      }
       case 'q': {
         if (rest.size() != 1) throw FlagError("unrecognised RTS flag: " + f);
         switch (rest[0]) {
@@ -110,6 +120,7 @@ std::string show_rts_flags(const RtsConfig& cfg) {
   out << (cfg.work == WorkPolicy::PushOnPoll ? " -qp" : " -qs");
   out << (cfg.blackhole == BlackholePolicy::Lazy ? " -ql" : " -qe");
   out << (cfg.sparkrun == SparkRunPolicy::ThreadPerSpark ? " -qt" : " -qT");
+  if (cfg.sanity) out << " -DS";
   return out.str();
 }
 

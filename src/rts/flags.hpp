@@ -10,6 +10,8 @@
 //   -ql / -qe      lazy / eager black-holing
 //   -qt / -qT      thread-per-spark / spark-thread activation
 //   -S<n>          spark pool capacity
+//   -DS            sanity auditor: full heap/scheduler invariant walk
+//                  after each GC and at driver shutdown (GHC's +RTS -DS)
 //
 // Sizes accept k/m/g suffixes and are in BYTES like GHC's -A/-H (one
 // machine word = 8 bytes). Unknown flags raise FlagError.

@@ -7,6 +7,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "rts/schedtest.hpp"
+
 namespace ph {
 
 // ---------------------------------------------------------------------------
@@ -205,6 +207,7 @@ Obj* next_useful_spark(Capability& c) {
 }  // namespace
 
 Tso* Machine::run_spark(Capability& c, Obj* spark_obj, bool as_spark_thread) {
+  sched_hook::point(SchedPoint::SparkActivate, c.id());
   Tso* t = spawn_enter(spark_obj, c.id(), /*enqueue=*/false);
   t->is_spark_thread = as_spark_thread;
   c.spark_stats().converted++;
@@ -243,7 +246,7 @@ void Machine::push_work(Capability& c) {
   for (std::uint32_t i = 0; i < n_caps(); ++i) {
     if (i == c.id()) continue;
     Capability& v = cap(i);
-    if (!v.idle) continue;
+    if (!v.idle.load(std::memory_order_relaxed)) continue;
     while (c.run_queue_len() > 1 && v.run_queue_len() == 0) {
       Tso* t = nullptr;
       {
@@ -649,6 +652,8 @@ void Machine::validate_roots(const char* when) {
 std::uint64_t Machine::collect(bool force_major) {
   std::uint64_t r = heap_->collect([this](Gc& gc) { walk_roots(gc); }, force_major);
   if (std::getenv("PARHASK_GC_VALIDATE") != nullptr) validate_roots("post-collect");
+  if (cfg_.sanity || std::getenv("PARHASK_SANITY") != nullptr)
+    sanity_check("post-collect");
   return r;
 }
 

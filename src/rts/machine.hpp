@@ -77,6 +77,10 @@ class Capability {
   std::optional<Obj*> pop_spark();       // owner only
   std::optional<Obj*> steal_spark();     // any capability
   std::size_t spark_pool_size() const { return sparks_.size(); }
+  /// Applies `f` to every spark slot in place. Owner only, and only while
+  /// all thieves are stopped (GC root walking, sanity audits, tests).
+  template <typename F>
+  void for_each_spark_slot(F&& f) { sparks_.for_each_slot(std::forward<F>(f)); }
 
   SparkStats& spark_stats() { return spark_stats_; }
   const SparkStats& spark_stats() const { return spark_stats_; }
@@ -84,8 +88,11 @@ class Capability {
   /// Words allocated since the last allocation check (GC-barrier polling).
   std::uint64_t alloc_debt = 0;
   /// True while the capability advertises itself as idle (PushOnPoll
-  /// scheme uses this to decide where to push surplus work).
-  bool idle = false;
+  /// scheme uses this to decide where to push surplus work). Written by
+  /// the owner, read by busy capabilities deciding where to push —
+  /// relaxed is enough, it is a heuristic hint: a stale read only delays
+  /// or skips one push, both of which the scheduler already tolerates.
+  std::atomic<bool> idle{false};
   /// The spark thread currently owned by this capability, if any.
   Tso* spark_thread = nullptr;
   /// Number of this capability's threads currently blocked (black holes /
@@ -148,8 +155,18 @@ class Machine {
                    bool enqueue = true);
   /// Creates a runnable TSO that forces `p` to full normal form (deep).
   Tso* spawn_deep_force(Obj* p, std::uint32_t cap, bool enqueue = true);
-  Tso* tso(ThreadId id) { return tsos_.at(id).get(); }
-  std::size_t tso_count() const { return tsos_.size(); }
+  /// Thread lookup by id. Holds tso_mutex_ for the vector access: a
+  /// concurrent spawn's push_back may reallocate the backing array, but
+  /// the unique_ptr targets themselves are stable once created, so the
+  /// returned pointer stays valid after the lock is dropped.
+  Tso* tso(ThreadId id) {
+    std::lock_guard<std::mutex> lock(tso_mutex_);
+    return tsos_.at(id).get();
+  }
+  std::size_t tso_count() const {
+    std::lock_guard<std::mutex> lock(tso_mutex_);
+    return tsos_.size();
+  }
 
   /// Unwinds thread `t` without running it: every black hole it owns is
   /// restored to a re-evaluable thunk (the Update frame recorded the body
@@ -233,6 +250,15 @@ class Machine {
   /// the report.
   void validate_roots(const char* when);
 
+  /// The -DS sanity auditor (src/rts/sanity.cpp): a full heap walk plus
+  /// scheduler-state checks — object headers/sizes, no stale forwarding
+  /// pointers outside GC, pointer fields landing in live regions,
+  /// black-hole/update-frame consistency, spark slots holding valid
+  /// objects, run-queue/wait-queue coherence. Mutators must be stopped.
+  /// A violation raises RtsInternalError with the offending slot and a
+  /// heap census; `when` labels the report.
+  void sanity_check(const char* when);
+
   MachineStats& stats() { return stats_; }
   const MachineStats& stats() const { return stats_; }
 
@@ -268,7 +294,7 @@ class Machine {
   std::unique_ptr<Heap> heap_;
   std::vector<std::unique_ptr<Capability>> caps_;
   std::vector<std::unique_ptr<Tso>> tsos_;
-  std::mutex tso_mutex_;
+  mutable std::mutex tso_mutex_;  // guards tsos_ growth vs concurrent lookup
 
   std::vector<WaitQueue> wait_queues_;
   std::vector<std::size_t> wait_queue_free_;

@@ -1,0 +1,395 @@
+#include "rts/schedtest.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace ph {
+
+namespace sched_hook {
+std::atomic<SchedController*> g_controller{nullptr};
+}  // namespace sched_hook
+
+namespace {
+
+// splitmix64 finalizer — the same counter-hash idiom as the fault injector:
+// every decision is a pure function of (seed, counters), never of wall
+// clock or pointer values, so schedules replay byte-identically.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) {
+  std::uint64_t h = mix64(seed ^ mix64(a));
+  h = mix64(h ^ mix64(b));
+  return mix64(h ^ mix64(c));
+}
+
+enum Stream : std::uint64_t { kChoice = 0x11, kPri = 0x22, kChange = 0x33, kPerturb = 0x44 };
+
+}  // namespace
+
+struct SchedController::Slot {
+  std::uint64_t id = 0;
+  std::uint64_t priority = 0;  // PCT: higher runs first
+  bool waiting = false;
+  bool granted = false;
+};
+
+thread_local SchedController::Slot* SchedController::t_slot_ = nullptr;
+thread_local SchedController* SchedController::t_owner_ = nullptr;
+
+const char* sched_point_name(SchedPoint p) {
+  switch (p) {
+    case SchedPoint::DequePush: return "deque.push";
+    case SchedPoint::DequePop: return "deque.pop";
+    case SchedPoint::DequePopRace: return "deque.pop-race";
+    case SchedPoint::DequeSteal: return "deque.steal";
+    case SchedPoint::DequeStealRace: return "deque.steal-race";
+    case SchedPoint::GcRendezvous: return "gc.rendezvous";
+    case SchedPoint::SparkActivate: return "spark.activate";
+    case SchedPoint::ThunkEnter: return "thunk.enter";
+    case SchedPoint::BlackHoleEnter: return "blackhole.enter";
+    case SchedPoint::Custom: return "custom";
+  }
+  return "?";
+}
+
+SchedController::SchedController(SchedPlan plan) : plan_(plan) {}
+
+SchedController::~SchedController() { detach(); }
+
+SchedStats SchedController::stats() const {
+  SchedStats s;
+  s.points = points_.load(std::memory_order_relaxed);
+  s.decisions = decisions_.load(std::memory_order_relaxed);
+  s.perturbs = perturbs_.load(std::memory_order_relaxed);
+  s.schedules = schedules_run_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SchedController::attach() {
+  SchedController* expected = nullptr;
+  if (!sched_hook::g_controller.compare_exchange_strong(expected, this,
+                                                        std::memory_order_acq_rel) &&
+      expected != this)
+    throw std::logic_error("another SchedController is already attached");
+}
+
+void SchedController::detach() {
+  SchedController* expected = this;
+  sched_hook::g_controller.compare_exchange_strong(expected, nullptr,
+                                                   std::memory_order_acq_rel);
+}
+
+std::uint64_t SchedController::derived_seed() const {
+  if (run_index_ == 0) return plan_.seed;
+  return mix64(plan_.seed ^ (run_index_ * 0x9e3779b97f4a7c15ull));
+}
+
+// ---------------------------------------------------------------------------
+// Perturb mode: seeded delay injection, safe under any driver
+// ---------------------------------------------------------------------------
+
+void SchedController::perturb(SchedPoint p, std::uint64_t detail) {
+  const std::uint64_t n = perturb_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= plan_.horizon) return;
+  const std::uint64_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::uint64_t h = hash3(plan_.seed ^ mix64(kPerturb), n,
+                                (static_cast<std::uint64_t>(p) << 32) ^ detail, tid);
+  switch (h & 7) {
+    case 0: case 1: case 2: case 3: case 4:
+      return;  // run through: most points stay undisturbed
+    case 5: {  // stretch the racy window without a syscall
+      volatile std::uint64_t sink = 0;
+      for (std::uint64_t i = 0, e = 1 + ((h >> 8) & 63); i < e; ++i)
+        sink = sink + i;
+      break;
+    }
+    case 6:
+      std::this_thread::yield();
+      break;
+    default:
+      if (((h >> 16) & 31) == 0)  // rare real delay: forces full reorderings
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      else
+        std::this_thread::yield();
+      break;
+  }
+  perturbs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Serial mode: strict token-passing over the scenario arena
+// ---------------------------------------------------------------------------
+
+void SchedController::expect_threads(std::uint32_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  expected_ = n;
+}
+
+void SchedController::enter_arena(std::uint64_t id) {
+  if (!plan_.enabled() || !plan_.serial) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  auto slot = std::make_unique<Slot>();
+  Slot* s = slot.get();
+  s->id = id;
+  s->priority = (1ull << 32) + hash3(derived_seed() ^ mix64(kPri), id, 0, 0) % (1u << 20);
+  slots_.push_back(std::move(slot));
+  entered_++;
+  t_slot_ = s;
+  t_owner_ = this;
+  s->waiting = true;
+  maybe_pick(lk);
+  cv_.wait(lk, [&] { return s->granted || standdown_; });
+  s->granted = false;
+  s->waiting = false;
+}
+
+void SchedController::leave_arena() {
+  if (!plan_.enabled() || !plan_.serial) return;
+  if (t_owner_ != this || t_slot_ == nullptr) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+    if (it->get() == t_slot_) {
+      slots_.erase(it);
+      break;
+    }
+  }
+  t_slot_ = nullptr;
+  t_owner_ = nullptr;
+  maybe_pick(lk);  // the remaining threads may all be parked now
+}
+
+void SchedController::reach(SchedPoint p, std::uint64_t detail) {
+  points_.fetch_add(1, std::memory_order_relaxed);
+  if (!plan_.enabled()) return;
+  if (!plan_.serial) {
+    perturb(p, detail);
+    return;
+  }
+  // Serial: only arena members are scheduled; everyone else (the explore()
+  // driver thread, unrelated machinery) passes straight through.
+  if (t_owner_ != this || t_slot_ == nullptr) return;
+  Slot* s = t_slot_;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (standdown_) return;
+  s->waiting = true;
+  maybe_pick(lk);
+  cv_.wait(lk, [&] { return s->granted || standdown_; });
+  s->granted = false;
+  s->waiting = false;
+}
+
+void SchedController::maybe_pick(std::unique_lock<std::mutex>&) {
+  // No decision until the whole cast has arrived: otherwise the schedule
+  // would depend on OS spawn order, not on the seed.
+  if (entered_ < expected_ || slots_.empty()) return;
+  std::vector<Slot*> enabled;
+  enabled.reserve(slots_.size());
+  for (auto& s : slots_) {
+    if (!s->waiting || s->granted) return;  // someone is still running
+    enabled.push_back(s.get());
+  }
+  if (serial_decisions_ >= plan_.horizon) {
+    standdown_ = true;  // safety valve: stop serialising, let the run finish
+    cv_.notify_all();
+    return;
+  }
+  // Candidates ordered by caller-chosen id: decisions see the same list no
+  // matter which OS thread parked last.
+  std::sort(enabled.begin(), enabled.end(),
+            [](const Slot* a, const Slot* b) { return a->id < b->id; });
+  const std::size_t idx = choose(enabled);
+  serial_decisions_++;
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  enabled[idx]->granted = true;
+  last_granted_ = enabled[idx]->id;
+  cv_.notify_all();
+}
+
+std::size_t SchedController::choose(const std::vector<Slot*>& enabled) {
+  const std::size_t k = enabled.size();
+  switch (plan_.strategy) {
+    case SchedPlan::Strategy::Random:
+      return static_cast<std::size_t>(
+          hash3(derived_seed() ^ mix64(kChoice), serial_decisions_, k, 0) % k);
+    case SchedPlan::Strategy::Pct: {
+      // A change point demotes whoever ran last below every initial
+      // priority; the highest-priority candidate then runs.
+      const std::uint32_t changes = plan_.pct_depth > 0 ? plan_.pct_depth - 1 : 0;
+      for (std::uint32_t j = 0; j < changes; ++j) {
+        const std::uint64_t at =
+            hash3(derived_seed() ^ mix64(kChange), j, 0, 0) % std::max(1u, plan_.pct_steps);
+        if (at == serial_decisions_ && last_granted_ != ~std::uint64_t{0}) {
+          for (const auto& s : slots_)
+            if (s->id == last_granted_) s->priority = demote_counter_--;
+        }
+      }
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < k; ++i)
+        if (enabled[i]->priority > enabled[best]->priority) best = i;
+      return best;
+    }
+    case SchedPlan::Strategy::Exhaustive: {
+      if (k == 1) return 0;  // forced move: consumes no exploration depth
+      std::uint32_t c = 0;
+      if (depth_ < trace_.size()) {
+        c = std::min<std::uint32_t>(trace_[depth_], static_cast<std::uint32_t>(k) - 1);
+        widths_[depth_] = static_cast<std::uint32_t>(k);
+      } else if (trace_.size() < plan_.exhaustive_bound) {
+        trace_.push_back(0);
+        widths_.push_back(static_cast<std::uint32_t>(k));
+      }
+      depth_++;
+      return c;
+    }
+    case SchedPlan::Strategy::Off:
+      break;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+void SchedController::begin_schedule() {
+  std::lock_guard<std::mutex> lk(mu_);
+  slots_.clear();
+  entered_ = 0;
+  serial_decisions_ = 0;
+  standdown_ = false;
+  depth_ = 0;
+  last_granted_ = ~std::uint64_t{0};
+  demote_counter_ = 1ull << 16;
+  perturb_counter_.store(0, std::memory_order_relaxed);
+}
+
+bool SchedController::next_schedule() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (plan_.strategy == SchedPlan::Strategy::Exhaustive) {
+    // DFS increment of the decision trace: deepest un-exhausted branching
+    // decision advances, everything below it resets.
+    while (!trace_.empty()) {
+      if (trace_.back() + 1 < widths_.back()) {
+        trace_.back()++;
+        return true;
+      }
+      trace_.pop_back();
+      widths_.pop_back();
+    }
+    return false;
+  }
+  run_index_++;
+  return plan_.schedules == 0 || run_index_ < plan_.schedules;
+}
+
+std::uint64_t SchedController::explore(std::uint32_t n_threads,
+                                       const std::function<void()>& scenario) {
+  expect_threads(n_threads);
+  attach();
+  std::uint64_t runs = 0;
+  const std::uint64_t cap =
+      plan_.schedules == 0 ? ~std::uint64_t{0} : plan_.schedules;
+  for (;;) {
+    begin_schedule();
+    scenario();
+    runs++;
+    schedules_run_.fetch_add(1, std::memory_order_relaxed);
+    if (runs >= cap || !next_schedule()) break;
+  }
+  detach();
+  return runs;
+}
+
+std::string SchedController::schedule_key() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (plan_.strategy == SchedPlan::Strategy::Exhaustive) {
+    std::ostringstream out;
+    out << "x:";
+    for (std::size_t i = 0; i < trace_.size(); ++i)
+      out << (i == 0 ? "" : ".") << trace_[i];
+    return out.str();
+  }
+  return std::to_string(derived_seed());
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing (the -Y family; same shape as the -F fault flags)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s, const std::string& flag) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  bool ok = !s.empty();
+  if (ok) {
+    try {
+      v = std::stoull(s, &pos);
+    } catch (...) {
+      ok = false;
+    }
+  }
+  if (!ok || pos != s.size())
+    throw std::invalid_argument("bad schedule flag argument: " + flag);
+  return v;
+}
+
+}  // namespace
+
+SchedPlan parse_sched_flags(const std::string& flags, SchedPlan base) {
+  SchedPlan p = base;
+  std::istringstream in(flags);
+  std::string tok;
+  while (in >> tok) {
+    if (tok.size() < 3 || tok[0] != '-' || tok[1] != 'Y')
+      throw std::invalid_argument("unknown schedule flag: " + tok);
+    const char key = tok[2];
+    const std::string arg = tok.substr(3);
+    auto no_arg = [&] {
+      if (!arg.empty()) throw std::invalid_argument("unexpected argument: " + tok);
+    };
+    switch (key) {
+      case 'o': no_arg(); p.strategy = SchedPlan::Strategy::Off; break;
+      case 'r': no_arg(); p.strategy = SchedPlan::Strategy::Random; break;
+      case 'p': no_arg(); p.strategy = SchedPlan::Strategy::Pct; break;
+      case 'x': no_arg(); p.strategy = SchedPlan::Strategy::Exhaustive; break;
+      case 'S': no_arg(); p.serial = true; break;
+      case 's': p.seed = parse_u64(arg, tok); break;
+      case 'n': p.schedules = static_cast<std::uint32_t>(parse_u64(arg, tok)); break;
+      case 'd': p.pct_depth = static_cast<std::uint32_t>(parse_u64(arg, tok)); break;
+      case 'k': p.pct_steps = static_cast<std::uint32_t>(parse_u64(arg, tok)); break;
+      case 'b': p.exhaustive_bound = static_cast<std::uint32_t>(parse_u64(arg, tok)); break;
+      case 'h': p.horizon = parse_u64(arg, tok); break;
+      default:
+        throw std::invalid_argument("unknown schedule flag: " + tok);
+    }
+  }
+  return p;
+}
+
+std::string show_sched_flags(const SchedPlan& p) {
+  std::ostringstream out;
+  switch (p.strategy) {
+    case SchedPlan::Strategy::Off: out << "-Yo"; break;
+    case SchedPlan::Strategy::Random: out << "-Yr"; break;
+    case SchedPlan::Strategy::Pct: out << "-Yp"; break;
+    case SchedPlan::Strategy::Exhaustive: out << "-Yx"; break;
+  }
+  out << " -Ys" << p.seed;
+  if (p.serial) out << " -YS";
+  out << " -Yn" << p.schedules << " -Yd" << p.pct_depth << " -Yk" << p.pct_steps
+      << " -Yb" << p.exhaustive_bound << " -Yh" << p.horizon;
+  return out.str();
+}
+
+}  // namespace ph

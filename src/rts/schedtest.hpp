@@ -1,0 +1,218 @@
+// Systematic schedule exploration for the threaded RTS.
+//
+// The protocols the paper's optimisations rely on — the Chase–Lev spark
+// deque, the GC rendezvous, lazy/eager black-holing — are exactly the kind
+// of code whose bugs hide in rare interleavings the OS scheduler may never
+// produce. This module plants *yield points* at every racy transition
+// (deque push/pop/steal, GC rendezvous, spark activation, thunk/black-hole
+// entry) and drives them from a SchedController with three strategies:
+//
+//   * Random     — seeded-random choices. In *serial* mode the controller
+//                  fully serialises the registered scenario threads (one
+//                  runs at a time; at each yield point the next runner is
+//                  a pure function of the seed), so a whole interleaving
+//                  replays byte-identically from its printed seed. In
+//                  non-serial ("perturb") mode the controller just injects
+//                  seeded delays/yields — safe to attach to a full
+//                  ThreadedDriver run as a stress amplifier.
+//   * Pct        — PCT-style priority scheduling (Burckhardt et al.,
+//                  ASPLOS'10): each thread gets a seed-derived priority,
+//                  the highest-priority runnable thread always runs, and
+//                  `pct_depth - 1` seed-derived change points demote the
+//                  running thread. Serial mode only.
+//   * Exhaustive — bounded exhaustive exploration for small configurations:
+//                  depth-first enumeration of every choice sequence at the
+//                  first `exhaustive_bound` branching yield points. Serial
+//                  mode only; explore() reruns the scenario once per
+//                  schedule until the space is exhausted.
+//
+// All decisions are derived from the seed by the same splitmix64
+// counter-hash idiom as the fault injector (src/rts/fault.hpp), so a
+// failing schedule is a reproducible experiment: rerun with the printed
+// seed and the interleaving — and therefore the failure — recurs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ph {
+
+/// Instrumented racy transitions. Each value names the *window* the yield
+/// point sits in, i.e. the reordering it exposes.
+enum class SchedPoint : std::uint8_t {
+  DequePush,       // wsdeque: after the slot write, before publishing bottom
+  DequePop,        // wsdeque: after taking bottom, before reading top
+  DequePopRace,    // wsdeque: last element, before the CAS against thieves
+  DequeSteal,      // wsdeque: after reading top, before reading bottom
+  DequeStealRace,  // wsdeque: before the CAS claiming the stolen element
+  GcRendezvous,    // threaded driver: about to park at the GC barrier
+  SparkActivate,   // machine: a spark is about to become a running thread
+  ThunkEnter,      // evaluator: entering a thunk, before the transition lock
+  BlackHoleEnter,  // evaluator: about to block on a black hole / placeholder
+  Custom           // scenario-defined
+};
+const char* sched_point_name(SchedPoint p);
+
+struct SchedPlan {
+  enum class Strategy : std::uint8_t { Off, Random, Pct, Exhaustive };
+
+  Strategy strategy = Strategy::Off;
+  std::uint64_t seed = 0;
+  /// Serial mode: registered scenario threads are fully serialised and the
+  /// interleaving is a pure function of the seed. Off = perturb mode.
+  bool serial = false;
+  /// Schedules run by explore() under Random/Pct (and a safety cap for
+  /// Exhaustive; 0 = until the bounded space is exhausted).
+  std::uint32_t schedules = 64;
+  /// PCT: number of priority change points is pct_depth - 1.
+  std::uint32_t pct_depth = 3;
+  /// PCT: assumed schedule length the change points are scattered over.
+  std::uint32_t pct_steps = 64;
+  /// Exhaustive: branching decisions enumerated per schedule; choices
+  /// beyond this depth fall back to the first enabled thread.
+  std::uint32_t exhaustive_bound = 12;
+  /// Controlled decisions per schedule before the controller stands down
+  /// (safety valve against runaway scenarios).
+  std::uint64_t horizon = 1 << 20;
+
+  bool enabled() const { return strategy != Strategy::Off; }
+};
+
+/// Parses schedule-test flags (whitespace-separated) on top of `base`:
+///   -Yo / -Yr / -Yp / -Yx   strategy off / random / PCT / exhaustive
+///   -Ys<seed>   RNG seed             -YS      serial mode
+///   -Yn<n>      schedules to run     -Yd<n>   PCT depth
+///   -Yk<n>      PCT schedule length  -Yb<n>   exhaustive bound
+///   -Yh<n>      decision horizon
+SchedPlan parse_sched_flags(const std::string& flags, SchedPlan base = SchedPlan{});
+std::string show_sched_flags(const SchedPlan& plan);
+
+struct SchedStats {
+  std::uint64_t points = 0;     // yield points reached
+  std::uint64_t decisions = 0;  // scheduling choices made
+  std::uint64_t perturbs = 0;   // delays/yields injected (perturb mode)
+  std::uint64_t schedules = 0;  // complete schedules executed
+};
+
+class SchedController {
+ public:
+  explicit SchedController(SchedPlan plan);
+  ~SchedController();
+  SchedController(const SchedController&) = delete;
+  SchedController& operator=(const SchedController&) = delete;
+
+  const SchedPlan& plan() const { return plan_; }
+  SchedStats stats() const;
+
+  /// Installs / removes this controller as the process-global target of
+  /// the sched_hook::point() instrumentation. At most one controller may
+  /// be attached at a time.
+  void attach();
+  void detach();
+
+  /// Instrumentation entry — called from every yield point (via
+  /// sched_hook::point). Perturb mode: maybe inject a delay. Serial mode:
+  /// park the calling scenario thread and let the strategy pick who runs.
+  void reach(SchedPoint p, std::uint64_t detail);
+
+  // --- serial-mode scenario arena ----------------------------------------
+  /// Declares how many scenario threads the next schedule will register;
+  /// serialisation begins once all of them have entered (so the schedule
+  /// does not depend on OS spawn order).
+  void expect_threads(std::uint32_t n);
+  /// Joins the arena under a caller-chosen id (ids order the candidate
+  /// list, keeping decisions independent of registration timing). Blocks
+  /// until the controller grants the first turn.
+  void enter_arena(std::uint64_t id);
+  /// Leaves the arena. Must be called before the thread blocks on anything
+  /// the arena cannot see (joins, condition variables) or exits.
+  void leave_arena();
+
+  // --- exploration driver -------------------------------------------------
+  /// Runs `scenario` (which must spawn `n_threads` arena threads and join
+  /// them) once per schedule: `schedules` runs for Random/Pct, until the
+  /// bounded space is exhausted for Exhaustive. Attaches for the duration.
+  /// Returns the number of schedules executed.
+  std::uint64_t explore(std::uint32_t n_threads, const std::function<void()>& scenario);
+
+  /// Resets per-schedule state (decision counters, PCT priorities,
+  /// exhaustive replay cursor). explore() calls this; standalone users
+  /// replaying one schedule call it once before the run.
+  void begin_schedule();
+  /// Advances to the next schedule. Random/Pct: bumps the derived seed;
+  /// Exhaustive: DFS-increments the decision trace. False when done.
+  bool next_schedule();
+
+  /// The replay key of the *current* schedule: pass it as SchedPlan::seed
+  /// (schedules = 1) and the identical interleaving is produced. For
+  /// Exhaustive the key is the decision trace rendered as "x:3.1.0".
+  std::string schedule_key() const;
+
+ private:
+  struct Slot;
+  static thread_local Slot* t_slot_;
+  static thread_local SchedController* t_owner_;
+  void perturb(SchedPoint p, std::uint64_t detail);
+  void maybe_pick(std::unique_lock<std::mutex>& lk);
+  std::size_t choose(const std::vector<Slot*>& enabled);
+  std::uint64_t derived_seed() const;
+
+  SchedPlan plan_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::uint32_t expected_ = 0;
+  std::uint32_t entered_ = 0;
+  std::uint64_t run_index_ = 0;
+  std::uint64_t serial_decisions_ = 0;
+  bool standdown_ = false;  // horizon exceeded: stop serialising this run
+
+  // PCT state (per schedule).
+  std::uint64_t last_granted_ = ~std::uint64_t{0};
+  std::uint64_t demote_counter_ = 0;
+
+  // Exhaustive DFS state.
+  std::vector<std::uint32_t> trace_;   // chosen branch per branching decision
+  std::vector<std::uint32_t> widths_;  // alternatives seen at that decision
+  std::size_t depth_ = 0;
+
+  std::atomic<std::uint64_t> points_{0};
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> perturbs_{0};
+  std::atomic<std::uint64_t> schedules_run_{0};
+  std::atomic<std::uint64_t> perturb_counter_{0};
+};
+
+/// RAII arena membership for scenario threads.
+class SchedArena {
+ public:
+  SchedArena(SchedController& c, std::uint64_t id) : c_(c) { c_.enter_arena(id); }
+  ~SchedArena() { c_.leave_arena(); }
+  SchedArena(const SchedArena&) = delete;
+  SchedArena& operator=(const SchedArena&) = delete;
+
+ private:
+  SchedController& c_;
+};
+
+namespace sched_hook {
+
+extern std::atomic<SchedController*> g_controller;
+
+/// The yield point planted in instrumented code. One relaxed-ish atomic
+/// load when no controller is attached — cheap enough for the deque fast
+/// paths and the evaluator.
+inline void point(SchedPoint p, std::uint64_t detail = 0) {
+  SchedController* c = g_controller.load(std::memory_order_acquire);
+  if (c != nullptr) c->reach(p, detail);
+}
+
+}  // namespace sched_hook
+
+}  // namespace ph

@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "rts/schedtest.hpp"
+
 namespace ph {
 
 ThreadedResult ThreadedDriver::run(Tso* main_tso) {
@@ -18,6 +20,7 @@ ThreadedResult ThreadedDriver::run(Tso* main_tso) {
       workers.emplace_back([this, i, main_tso] { worker(i, main_tso); });
   }
   m_.set_concurrent(false);
+  if (m_.config().sanity) m_.sanity_check("threaded shutdown");
   const auto t1 = std::chrono::steady_clock::now();
   ThreadedResult r;
   r.value = main_tso->result;
@@ -66,6 +69,7 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
     // Safe point: a requested collection is joined even when idle. A
     // worker holding an unfinished thread parks with it and resumes after.
     if (m_.heap().gc_requested()) {
+      sched_hook::point(SchedPoint::GcRendezvous, ci);
       barrier();
       continue;
     }
@@ -74,7 +78,7 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
       active = m_.schedule_next(c);
       if (active == nullptr) active = m_.try_steal(c);
       if (active == nullptr) {
-        c.idle = true;
+        c.idle.store(true, std::memory_order_relaxed);
         if (++idle_spins < 64) {
           std::this_thread::yield();
           continue;
@@ -100,7 +104,7 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
         }
         continue;
       }
-      c.idle = false;
+      c.idle.store(false, std::memory_order_relaxed);
       idle_spins = 0;
       deadlock_strikes = 0;
       active->state = ThreadState::Running;
@@ -111,6 +115,7 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
     bool release = false;  // give up the thread (blocked/finished/moved on)
     while (steps < cfg.quantum_steps && !release) {
       if (m_.heap().gc_requested()) {
+        sched_hook::point(SchedPoint::GcRendezvous, ci);
         barrier();
         continue;  // retry from the current step
       }
@@ -142,6 +147,7 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
             release = true;
             break;
           }
+          sched_hook::point(SchedPoint::GcRendezvous, ci);
           barrier();  // park; the step is retried after the collection
           continue;
         }

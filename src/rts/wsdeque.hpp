@@ -4,7 +4,14 @@
 //
 // One owner thread pushes/pops at the bottom; any number of thieves steal
 // from the top. Memory ordering follows the Lê/Pop/Cohen/Nardelli (PPoPP
-// 2013) formalisation of the algorithm for C11 atomics.
+// 2013) formalisation of the algorithm for C11 atomics; every ordering
+// annotation below carries a comment naming the invariant it protects.
+//
+// ThreadSanitizer does not model standalone atomic_thread_fence, so the
+// fence-based fast path reports false races under -fsanitize=thread. Under
+// TSan we substitute the (strictly stronger, slightly slower) variant that
+// folds each fence into the adjacent atomic operation; the protocol is
+// unchanged.
 #pragma once
 
 #include <atomic>
@@ -12,6 +19,16 @@
 #include <memory>
 #include <optional>
 #include <vector>
+
+#include "rts/schedtest.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define PH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PH_TSAN 1
+#endif
+#endif
 
 namespace ph {
 
@@ -23,6 +40,11 @@ class WsDeque {
     std::size_t mask;
     std::vector<std::atomic<T>> slots;
 
+    // Slot accesses are relaxed: a slot's value is only *meaningful* to a
+    // thread that has already won the index via the top/bottom protocol
+    // below. The CAS on `top` (resp. the bottom publication fence) is what
+    // orders the data; the slot load itself carries no obligation. (Lê et
+    // al. §4: array accesses need no ordering of their own.)
     T get(std::int64_t i) const {
       return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_relaxed);
     }
@@ -47,15 +69,29 @@ class WsDeque {
 
   /// Owner only. Pushes a value at the bottom; grows if full.
   void push(T v) {
+    // Owner reads its own bottom: no one else writes it → relaxed.
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // Acquire on top pairs with the thieves' CAS release: the owner must
+    // observe every completed steal before concluding the buffer is full,
+    // otherwise it would grow (and copy) a buffer containing slots thieves
+    // have already drained.
     std::int64_t t = top_.load(std::memory_order_acquire);
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
       buf = grow(buf, t, b);
     }
     buf->put(b, v);
+    sched_hook::point(SchedPoint::DequePush, static_cast<std::uint64_t>(b));
+#if defined(PH_TSAN)
+    // Fence folded into the publishing store (see header comment).
+    bottom_.store(b + 1, std::memory_order_release);
+#else
+    // Release fence + relaxed store publish the slot write: any thief whose
+    // acquire load of bottom sees b+1 also sees the value in slot b. This
+    // is the only ordering that makes a freshly pushed element stealable.
     std::atomic_thread_fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
+#endif
   }
 
   /// Owner only. Pops the most recently pushed value (LIFO — best cache
@@ -63,16 +99,39 @@ class WsDeque {
   std::optional<T> pop() {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
+#if defined(PH_TSAN)
+    // Fence folded into the store + the top load below (both seq_cst).
+    bottom_.store(b, std::memory_order_seq_cst);
+    sched_hook::point(SchedPoint::DequePop, static_cast<std::uint64_t>(b));
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
     bottom_.store(b, std::memory_order_relaxed);
+    // The seq_cst fence is the heart of Chase–Lev: the owner's claim
+    // "bottom = b" and its read of top must not be reordered, and must be
+    // totally ordered against the mirror-image (read bottom / CAS top)
+    // sequence in steal(). Without it, owner and thief can both observe
+    // the *pre*-claim state of the other and take the same last element.
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    sched_hook::point(SchedPoint::DequePop, static_cast<std::uint64_t>(b));
+    // Relaxed suffices: the fence above already globally orders this load;
+    // acquire would add nothing (top's value is re-validated by the CAS in
+    // the race path).
     std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
     if (t > b) {
+      // Deque was empty: undo the claim. Relaxed: only the owner writes
+      // bottom, and no data is published by this restore.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return std::nullopt;
     }
     T v = buf->get(b);
     if (t == b) {
-      // Last element: race against thieves via CAS on top.
+      sched_hook::point(SchedPoint::DequePopRace, static_cast<std::uint64_t>(b));
+      // Last element: race thieves via CAS on top. seq_cst success order
+      // keeps the CAS in the same total order as the fences/CASes in
+      // steal(), so exactly one of {owner, thief} wins index t. Relaxed on
+      // failure: the loser only learns "someone else took it" and restores
+      // bottom without publishing anything.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         bottom_.store(b + 1, std::memory_order_relaxed);
@@ -86,12 +145,35 @@ class WsDeque {
   /// Any thread. Steals the oldest value (FIFO — steals the biggest,
   /// oldest sparks first, which is the behaviour GHC wants).
   std::optional<T> steal() {
+    // Acquire on top: a thief that observes top = t must also observe the
+    // slot drains of every steal that advanced top to t (pairs with the
+    // CAS release below), or it could read a slot another thief already
+    // emptied and return a stale duplicate after its own CAS.
     std::int64_t t = top_.load(std::memory_order_acquire);
+    sched_hook::point(SchedPoint::DequeSteal, static_cast<std::uint64_t>(t));
+#if defined(PH_TSAN)
+    std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
+    // Mirror of the fence in pop(): the thief's read of top and read of
+    // bottom must be globally ordered against the owner's (write bottom /
+    // read top); see the invariant comment there.
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Acquire pairs with the release publication in push(): seeing
+    // bottom > t guarantees the value in slot t is visible.
     std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
     if (t >= b) return std::nullopt;
-    Buffer* buf = buffer_.load(std::memory_order_consume);
+    // Acquire (promoted from Lê et al.'s consume, which C++ compilers
+    // implement as acquire anyway) pairs with grow()'s release store: the
+    // thief must see the fully copied new buffer, not a torn one.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
     T v = buf->get(t);
+    sched_hook::point(SchedPoint::DequeStealRace, static_cast<std::uint64_t>(t));
+    // seq_cst success: totally ordered with pop()'s fence/CAS so the last
+    // element is taken exactly once (see pop). The CAS also *releases* the
+    // thief's read of slot t, which is what makes the owner's acquire load
+    // of top in push() sufficient to recycle the slot. Relaxed failure:
+    // the thief retries/gives up without publishing.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed))
       return std::nullopt;  // lost the race
@@ -100,6 +182,9 @@ class WsDeque {
 
   /// Approximate size (exact when quiescent).
   std::size_t size() const {
+    // Relaxed pair of loads: the result is inherently a racy snapshot;
+    // callers only use it as a heuristic (idle checks, stats) or while the
+    // deque is quiescent (GC), where ordering is irrelevant.
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
@@ -107,7 +192,8 @@ class WsDeque {
   bool empty() const { return size() == 0; }
 
   /// Owner only, and only while all thieves are stopped (GC root walking):
-  /// applies `f` to every element slot in place.
+  /// applies `f` to every element slot in place. Relaxed throughout —
+  /// quiescence is the caller's synchronisation.
   template <typename F>
   void for_each_slot(F&& f) {
     std::int64_t t = top_.load(std::memory_order_relaxed);
@@ -124,6 +210,8 @@ class WsDeque {
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
     auto* nb = new Buffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) nb->put(i, old->get(i));
+    // Release: a thief acquiring buffer_ (in steal) must see every slot
+    // copied above — publishing the pointer publishes the contents.
     buffer_.store(nb, std::memory_order_release);
     // Thieves may still be reading the old buffer; retire it until the
     // deque itself is destroyed (bounded: each retirement doubles size).

@@ -62,7 +62,7 @@ void SimDriver::slice(std::uint32_t ci, Tso* main_tso) {
       charge(ci, t != nullptr ? cost_.steal_hit : cost_.steal_miss, CapState::Sync);
     }
     if (t != nullptr) {
-      c.idle = false;
+      c.idle.store(false, std::memory_order_relaxed);
       cs.active = t;
       t->state = ThreadState::Running;
       // A brand-new thread (spark conversion / fresh spawn) pays creation
@@ -80,7 +80,7 @@ void SimDriver::slice(std::uint32_t ci, Tso* main_tso) {
 void SimDriver::idle_tick(std::uint32_t ci) {
   CapSim& cs = caps_[ci];
   Capability& c = m_.cap(ci);
-  c.idle = true;
+  c.idle.store(true, std::memory_order_relaxed);
   // An idle capability reaches the GC barrier immediately.
   if (gc_pending()) {
     arrive_at_barrier(ci);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "rts/flags.hpp"
+#include "rts/schedtest.hpp"
 
 namespace ph {
 namespace {
@@ -61,6 +62,63 @@ TEST(Flags, ShowRoundTrips) {
 TEST(Flags, EmptyStringIsDefaults) {
   RtsConfig c = parse_rts_flags("");
   EXPECT_EQ(c.n_caps, RtsConfig{}.n_caps);
+}
+
+TEST(Flags, SanityDebugFlag) {
+  EXPECT_FALSE(parse_rts_flags("").sanity);
+  EXPECT_TRUE(parse_rts_flags("-DS").sanity);
+  EXPECT_TRUE(parse_rts_flags("-N4 -DS -qs").sanity);
+  EXPECT_THROW(parse_rts_flags("-D"), FlagError);   // no debug letters
+  EXPECT_THROW(parse_rts_flags("-Dx"), FlagError);  // unknown debug letter
+}
+
+TEST(Flags, SanityFlagShowRoundTrips) {
+  RtsConfig c = parse_rts_flags("-N2 -DS");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find(" -DS"), std::string::npos) << shown;
+  EXPECT_TRUE(parse_rts_flags(shown).sanity);
+  // And absent when off: -DS must not leak into every config.
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2")).find("-DS"), std::string::npos);
+}
+
+TEST(SchedFlags, ParseAndDefaults) {
+  SchedPlan d;
+  EXPECT_FALSE(d.enabled());
+  SchedPlan p = parse_sched_flags("-Yr -Ys42 -YS -Yn8 -Yd5 -Yk128 -Yb10 -Yh5000");
+  EXPECT_EQ(p.strategy, SchedPlan::Strategy::Random);
+  EXPECT_TRUE(p.enabled());
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_TRUE(p.serial);
+  EXPECT_EQ(p.schedules, 8u);
+  EXPECT_EQ(p.pct_depth, 5u);
+  EXPECT_EQ(p.pct_steps, 128u);
+  EXPECT_EQ(p.exhaustive_bound, 10u);
+  EXPECT_EQ(p.horizon, 5000u);
+}
+
+TEST(SchedFlags, ShowRoundTripsThroughParse) {
+  SchedPlan p = parse_sched_flags("-Yp -Ys7 -YS -Yn3 -Yd4 -Yk32 -Yb6 -Yh999");
+  SchedPlan q = parse_sched_flags(show_sched_flags(p));
+  EXPECT_EQ(q.strategy, p.strategy);
+  EXPECT_EQ(q.seed, p.seed);
+  EXPECT_EQ(q.serial, p.serial);
+  EXPECT_EQ(q.schedules, p.schedules);
+  EXPECT_EQ(q.pct_depth, p.pct_depth);
+  EXPECT_EQ(q.pct_steps, p.pct_steps);
+  EXPECT_EQ(q.exhaustive_bound, p.exhaustive_bound);
+  EXPECT_EQ(q.horizon, p.horizon);
+  // Exhaustive strategy renders and parses too.
+  SchedPlan x = parse_sched_flags("-Yx");
+  EXPECT_EQ(parse_sched_flags(show_sched_flags(x)).strategy,
+            SchedPlan::Strategy::Exhaustive);
+}
+
+TEST(SchedFlags, RejectsMalformed) {
+  EXPECT_THROW(parse_sched_flags("-Yz"), std::invalid_argument);
+  EXPECT_THROW(parse_sched_flags("-Y"), std::invalid_argument);
+  EXPECT_THROW(parse_sched_flags("-Ysfoo"), std::invalid_argument);
+  EXPECT_THROW(parse_sched_flags("-Yr7"), std::invalid_argument);  // -Yr takes no arg
+  EXPECT_THROW(parse_sched_flags("Yr"), std::invalid_argument);
 }
 
 }  // namespace

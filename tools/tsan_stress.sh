@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# ThreadSanitizer stress job for the schedule-exploration harness.
+#
+# Builds the tree with PARHASK_SANITIZE=thread and runs the schedtest-labelled
+# tests (Chase-Lev deque races, black-hole entry ordering, perturbed full
+# ThreadedDriver runs) under many random schedules: each iteration exports a
+# fresh PARHASK_SCHED_SEED, which SchedStress.SumEulerCorrectUnderRandomPerturbation
+# picks up to derive all its delay decisions. A data race found by TSan is
+# therefore reproducible: re-export the seed printed on the failing line and
+# re-run the same ctest command.
+#
+# Usage: tools/tsan_stress.sh [iterations] [base-seed]
+#   iterations  number of seeds to try        (default 20)
+#   base-seed   first seed; i-th run uses base-seed + i  (default 1)
+set -euo pipefail
+
+iterations=${1:-20}
+base_seed=${2:-1}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${TSAN_BUILD_DIR:-"$repo_root/build-tsan"}
+
+cmake -B "$build_dir" -S "$repo_root" -DPARHASK_SANITIZE=thread
+cmake --build "$build_dir" -j "$(nproc)"
+
+# halt_on_error so the first race fails the run instead of scrolling past;
+# second_deadlock_stack gives both sides of lock-order reports.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+
+fail=0
+for ((i = 0; i < iterations; ++i)); do
+  seed=$((base_seed + i))
+  echo "=== tsan_stress: seed $seed ($((i + 1))/$iterations) ==="
+  if ! (cd "$build_dir" && PARHASK_SCHED_SEED=$seed \
+        ctest -L schedtest --output-on-failure); then
+    echo "tsan_stress: FAILURE at PARHASK_SCHED_SEED=$seed" >&2
+    echo "reproduce with:" >&2
+    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L schedtest --output-on-failure" >&2
+    fail=1
+    break
+  fi
+done
+
+if [[ $fail -eq 0 ]]; then
+  echo "tsan_stress: $iterations seeds clean (base seed $base_seed)"
+fi
+exit $fail
