@@ -1,0 +1,224 @@
+// A7 — parallel-GC ablation: GC phase time and copy-work balance as the
+// worker team grows (--gc-threads = 1, 2, 4, 8), on two live-heap shapes
+// taken from the paper's benchmarks:
+//
+//   sumeuler_lists — many independent cons lists of boxed Ints: small
+//                    objects, deep pointer chasing — the round-robin chunk
+//                    lists sumEulerParRR's sparks hold live (one spine per
+//                    chunk is what makes the shape collectable in
+//                    parallel; a single chain would serialise any
+//                    collector);
+//   matmul_rows    — a list of wide Con arrays of boxed Ints: the
+//                    row-major matrices of the matMul benchmark, dominated
+//                    by large objects whose scavenge fans out widely.
+//
+// For each (heap, team) cell the harness builds the live graph through the
+// mutator interface (so nursery promotion, remsets and large-object paths
+// all participate), then times `--reps` forced major collections and
+// reports mean wall time plus the collector's copy-balance metric (total
+// words copied / busiest worker's words — the speedup the team achieves
+// with one core per worker).
+//
+// NOTE on wall time: on a single-core host the workers time-share one CPU,
+// so wall elapsed cannot drop with team size — the balance column is the
+// honest parallelism measurement there (DESIGN.md §10). Worse, a
+// microsecond-scale collection finishes inside the leader's OS timeslice,
+// so the helpers never even interleave. By default the harness therefore
+// attaches the schedule controller in perturb mode (seeded yields at the
+// collector's instrumented racy points — the same instrumentation the
+// schedtest suite drives), which stands in for preemption at copy
+// granularity and lets the balance column measure the *collector's* work
+// distribution rather than the host's core count. Run with --no-perturb
+// on a multicore host for undisturbed wall numbers. Both figures are
+// emitted to BENCH_gc.json.
+#include <fstream>
+
+#include "rts/schedtest.hpp"
+#include "support.hpp"
+
+using namespace ph;
+using namespace ph::bench;
+
+namespace {
+
+struct Cell {
+  std::uint32_t gc_threads;
+  double elapsed_ns_mean;
+  double balance;
+  std::uint32_t workers;
+  std::uint64_t words_copied;
+};
+
+struct HeapResult {
+  const char* name;
+  std::uint64_t live_words;
+  std::vector<Cell> cells;
+};
+
+Machine* g_m = nullptr;
+
+Obj* boxed(std::int64_t v) {
+  Obj* o = g_m->alloc_with_gc(0, ObjKind::Int, 0, 1);
+  o->payload()[0] = static_cast<Word>(v);
+  return o;
+}
+
+/// sumeuler_lists: `lists` independent spines of `cells / lists` cons
+/// cells each, every cell holding a boxed Int — protect[k] roots spine k.
+void build_lists(std::vector<Obj*>& protect, std::int64_t cells, std::int64_t lists) {
+  Machine& m = *g_m;  // protect[] arrives pre-filled with nil from measure()
+  for (std::int64_t i = 0; i < cells; ++i) {
+    const std::size_t k = static_cast<std::size_t>(i % lists);
+    std::vector<Obj*> tmp{boxed(i)};
+    RootGuard g(m, tmp);
+    Obj* cell = m.alloc_with_gc(0, ObjKind::Con, 1, 2);
+    cell->ptr_payload()[0] = tmp[0];
+    cell->ptr_payload()[1] = protect[k];
+    protect[k] = cell;
+  }
+}
+
+/// matmul_rows: a cons list of `rows` Con arrays, each `cols` boxed Ints.
+void build_matrix(std::vector<Obj*>& protect, std::int64_t rows, std::int64_t cols) {
+  Machine& m = *g_m;  // protect[0] arrives pre-filled with nil from measure()
+  for (std::int64_t r = 0; r < rows; ++r) {
+    Obj* row = m.alloc_with_gc(0, ObjKind::Con, 2, static_cast<std::uint32_t>(cols));
+    // Fields must be valid before the next allocation can trigger a GC:
+    // seed them all with the list head, then replace one element at a time.
+    for (std::int64_t c = 0; c < cols; ++c) row->ptr_payload()[c] = protect[0];
+    std::vector<Obj*> tmp{row};
+    RootGuard g(m, tmp);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      tmp[0]->ptr_payload()[c] = boxed(r * cols + c);
+      // A GC inside boxed() may have promoted the row: this store is then
+      // an old-to-young edge and must hit the remembered set.
+      m.heap().remember(0, tmp[0]);
+    }
+    Obj* cell = m.alloc_with_gc(0, ObjKind::Con, 1, 2);
+    cell->ptr_payload()[0] = tmp[0];
+    cell->ptr_payload()[1] = protect[0];
+    protect[0] = cell;
+  }
+}
+
+HeapResult measure(const char* name, std::int64_t reps, std::size_t n_slots,
+                   const std::function<void(std::vector<Obj*>&)>& build) {
+  HeapResult hr{name, 0, {}};
+  Program prog = make_full_program();
+  for (std::uint32_t t : {1u, 2u, 4u, 8u}) {
+    RtsConfig cfg = config_worksteal(4);
+    cfg.gc_threads = t;
+    cfg.heap.nursery_words = 32 * 1024;
+    Machine m(prog, cfg);
+    g_m = &m;
+    std::vector<Obj*> protect(n_slots, nullptr);
+    Obj* nil = m.alloc_with_gc(0, ObjKind::Con, 0, 0);
+    for (Obj*& p : protect) p = nil;  // every slot valid before the guard
+    RootGuard guard(m, protect);
+    build(protect);
+    const GcStats& gs = m.heap().stats();
+    // Warm-up major (moves everything into a settled old gen), then time.
+    m.collect(/*force_major=*/true);
+    const std::uint64_t ns0 = gs.gc_elapsed_ns;
+    const std::uint64_t copied0 = gs.words_copied_major;
+    double balance = 0.0;
+    for (std::int64_t i = 0; i < reps; ++i) {
+      m.collect(/*force_major=*/true);
+      balance += gs.last_gc_balance;
+    }
+    const double mean_ns =
+        static_cast<double>(gs.gc_elapsed_ns - ns0) / static_cast<double>(reps);
+    const std::uint64_t copied =
+        (gs.words_copied_major - copied0) / static_cast<std::uint64_t>(reps);
+    hr.live_words = m.heap().live_words_after_last_gc();
+    hr.cells.push_back(Cell{t, mean_ns, balance / static_cast<double>(reps),
+                            gs.last_gc_workers, copied});
+    g_m = nullptr;
+  }
+  return hr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t cells = arg_int(argc, argv, "--cells", 60000);
+  const std::int64_t lists = arg_int(argc, argv, "--lists", 32);
+  const std::int64_t rows = arg_int(argc, argv, "--rows", 150);
+  const std::int64_t cols = arg_int(argc, argv, "--cols", 150);
+  const std::int64_t reps = arg_int(argc, argv, "--reps", 5);
+  const std::int64_t seed = arg_int(argc, argv, "--seed", 1);
+  std::string out_path = "BENCH_gc.json";
+  bool perturb = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) out_path = argv[i + 1];
+    if (std::string(argv[i]) == "--no-perturb") perturb = false;
+  }
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("A7 — parallel GC ablation (host cores: %u, perturb %s)\n",
+              host_cores, perturb ? "on" : "off");
+  std::printf("%lld cells over %lld lists, matrix %lldx%lld, %lld reps per cell\n\n",
+              static_cast<long long>(cells), static_cast<long long>(lists),
+              static_cast<long long>(rows), static_cast<long long>(cols),
+              static_cast<long long>(reps));
+
+  // Perturb mode: seeded yields at the collector's instrumented points so
+  // workers interleave at copy granularity even on one core (see header).
+  SchedPlan plan;
+  plan.strategy = SchedPlan::Strategy::Random;
+  plan.serial = false;
+  plan.seed = static_cast<std::uint64_t>(seed);
+  plan.horizon = 1ull << 62;  // never stand down mid-measurement
+  SchedController ctl(plan);
+  if (perturb) ctl.attach();
+
+  std::vector<HeapResult> results;
+  results.push_back(measure("sumeuler_lists", reps,
+                            static_cast<std::size_t>(lists),
+                            [&](std::vector<Obj*>& p) {
+    build_lists(p, cells, lists);
+  }));
+  results.push_back(measure("matmul_rows", reps, 1, [&](std::vector<Obj*>& p) {
+    build_matrix(p, rows, cols);
+  }));
+  if (perturb) ctl.detach();
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"parallel_gc_ablation\",\n"
+       << "  \"host_cores\": " << host_cores << ",\n"
+       << "  \"perturb\": " << (perturb ? "true" : "false") << ",\n"
+       << "  \"note\": \"balance = words copied / busiest worker = GC speedup "
+          "with one core per worker; wall ns only improves on multicore "
+          "hosts\",\n  \"heaps\": [\n";
+  bool pass = true;
+  for (std::size_t h = 0; h < results.size(); ++h) {
+    const HeapResult& hr = results[h];
+    std::printf("%s  (live %llu words)\n", hr.name,
+                static_cast<unsigned long long>(hr.live_words));
+    std::printf("  %10s %14s %12s %10s %12s %10s\n", "gc-threads", "gc wall ns",
+                "wall spdup", "balance", "words/gc", "workers");
+    json << "    {\"name\": \"" << hr.name << "\", \"live_words\": " << hr.live_words
+         << ", \"teams\": [\n";
+    const double base_ns = hr.cells.front().elapsed_ns_mean;
+    for (std::size_t i = 0; i < hr.cells.size(); ++i) {
+      const Cell& c = hr.cells[i];
+      const double wall_speedup = base_ns / c.elapsed_ns_mean;
+      std::printf("  %10u %14.0f %12.2f %10.2f %12llu %10u\n", c.gc_threads,
+                  c.elapsed_ns_mean, wall_speedup, c.balance,
+                  static_cast<unsigned long long>(c.words_copied), c.workers);
+      json << "      {\"gc_threads\": " << c.gc_threads << ", \"elapsed_ns_mean\": "
+           << static_cast<std::uint64_t>(c.elapsed_ns_mean)
+           << ", \"wall_speedup\": " << wall_speedup << ", \"balance\": " << c.balance
+           << ", \"workers\": " << c.workers << ", \"words_per_gc\": "
+           << c.words_copied << "}" << (i + 1 < hr.cells.size() ? "," : "") << "\n";
+      if (c.gc_threads == 4 && c.balance <= 1.5) pass = false;
+    }
+    json << "    ]}" << (h + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  std::printf("CHECK %-28s %s (copy balance > 1.5 at 4 gc-threads)\n",
+              "parallel gc speedup", pass ? "OK" : "FAILED");
+  return pass ? 0 : 1;
+}

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace ph {
 
@@ -40,6 +41,12 @@ enum class ObjKind : std::uint8_t {
 constexpr Word kNoQueue = ~Word{0};
 
 constexpr std::uint8_t kFlagStatic = 1;  // lives in the static arena, never moves
+/// Set (via CAS on the whole header word) by the parallel collector while
+/// a GC worker owns the copy of this object: the winner of the claim race
+/// copies the payload, installs the forwarding pointer, and clears the
+/// flag with a release store of the final Fwd header. Never visible
+/// outside a collection (the -DS auditor checks).
+constexpr std::uint8_t kFlagGcBusy = 2;
 
 struct Obj {
   ObjKind kind;
@@ -136,6 +143,41 @@ inline void set_kind_release(Obj* p, ObjKind k) {
 inline Obj* follow(Obj* p) {
   while (kind_acquire(p) == ObjKind::Ind) p = p->ind_target();
   return p;
+}
+
+/// WHNF probe safe against a concurrent update(): one acquire kind read
+/// (Obj::is_whnf() reads the field plainly and is owner-thread only).
+inline bool is_whnf_acquire(const Obj* p) {
+  const ObjKind k = kind_acquire(p);
+  return k == ObjKind::Int || k == ObjKind::Con || k == ObjKind::Pap;
+}
+
+// --- whole-header-word atomics (parallel GC claim protocol) ----------------
+// The parallel collector races workers on the header word: a CAS from the
+// original header to original|kFlagGcBusy claims the object, and a release
+// store of a Fwd header publishes the copy. Packing goes through memcpy so
+// the layout matches Obj on any endianness (compiles to a register move).
+
+inline Word pack_header(ObjKind kind, std::uint8_t flags, std::uint16_t tag,
+                        std::uint32_t size) {
+  Obj o;
+  o.kind = kind;
+  o.flags = flags;
+  o.tag = tag;
+  o.size = size;
+  Word w;
+  std::memcpy(&w, &o, sizeof(Word));
+  return w;
+}
+
+inline Obj unpack_header(Word w) {
+  Obj o;
+  std::memcpy(&o, &w, sizeof(Word));
+  return o;
+}
+
+inline std::atomic_ref<Word> header_word(Obj* p) {
+  return std::atomic_ref<Word>(*reinterpret_cast<Word*>(p));
 }
 
 }  // namespace ph

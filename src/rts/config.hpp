@@ -76,6 +76,11 @@ struct RtsConfig {
   /// GHC's +RTS -DS: run the sanity auditor (full heap walk + scheduler
   /// invariant checks) after every collection and at driver shutdown.
   bool sanity = false;
+  /// GC worker-team size (--gc-threads=N). 0 = match n_caps, the GHC 6.10
+  /// parallel-GC default; 1 = the sequential collector, bit-for-bit the
+  /// baseline behaviour. Machine copies the resolved value into
+  /// HeapConfig::gc_threads before building the heap.
+  std::uint32_t gc_threads = 0;
 
   std::string name = "custom";
 };

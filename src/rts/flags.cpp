@@ -48,6 +48,11 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
   RtsConfig cfg = std::move(base);
   for (const std::string& f : flags) {
     if (f.size() < 2 || f[0] != '-') throw FlagError("unrecognised RTS flag: " + f);
+    if (f.rfind("--gc-threads=", 0) == 0) {
+      cfg.gc_threads = static_cast<std::uint32_t>(
+          parse_num(f.substr(std::string("--gc-threads=").size()), f));
+      continue;
+    }
     const std::string rest = f.substr(2);
     switch (f[1]) {
       case 'N': {
@@ -121,6 +126,7 @@ std::string show_rts_flags(const RtsConfig& cfg) {
   out << (cfg.blackhole == BlackholePolicy::Lazy ? " -ql" : " -qe");
   out << (cfg.sparkrun == SparkRunPolicy::ThreadPerSpark ? " -qt" : " -qT");
   if (cfg.sanity) out << " -DS";
+  if (cfg.gc_threads != 0) out << " --gc-threads=" << cfg.gc_threads;
   return out.str();
 }
 

@@ -12,6 +12,8 @@
 //   -S<n>          spark pool capacity
 //   -DS            sanity auditor: full heap/scheduler invariant walk
 //                  after each GC and at driver shutdown (GHC's +RTS -DS)
+//   --gc-threads=<n>  GC worker-team size (GHC 6.10's -g<n>); 0 = match -N
+//                  (the default), 1 = the sequential baseline collector
 //
 // Sizes accept k/m/g suffixes and are in BYTES like GHC's -A/-H (one
 // machine word = 8 bytes). Unknown flags raise FlagError.

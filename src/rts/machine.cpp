@@ -40,7 +40,7 @@ std::size_t Capability::run_queue_len() const {
 
 void Capability::spark(Obj* p) {
   Obj* v = follow(p);
-  if (v->is_whnf()) {
+  if (is_whnf_acquire(v)) {
     spark_stats_.dud++;
     return;
   }
@@ -58,6 +58,24 @@ void Capability::spark(Obj* p) {
     sparks_.push(p);
   }
   spark_stats_.created++;
+}
+
+bool Capability::accept_pushed_spark(Obj* p, SparkStats& pusher_stats) {
+  Obj* v = follow(p);
+  if (is_whnf_acquire(v)) {
+    pusher_stats.fizzled++;
+    return true;
+  }
+  // The pool lock also covers the capacity probe: several busy
+  // capabilities may be pushing into the same idle pool at once.
+  std::lock_guard<std::mutex> lock(rq_mutex_);
+  if (sparks_.size() >= m_.config().spark_pool_capacity) {
+    pusher_stats.overflowed++;
+    return false;
+  }
+  sparks_.push(p);
+  // No created++: the spark was counted when the pusher created it.
+  return true;
 }
 
 std::optional<Obj*> Capability::pop_spark() {
@@ -84,6 +102,7 @@ Machine::Machine(const Program& prog, RtsConfig cfg) : prog_(prog), cfg_(std::mo
   if (!prog_.validated()) throw ProgramError("program must be validated before running");
   if (cfg_.n_caps == 0) throw ProgramError("machine needs at least one capability");
   cfg_.heap.n_nurseries = cfg_.n_caps;
+  cfg_.heap.gc_threads = cfg_.gc_threads == 0 ? cfg_.n_caps : cfg_.gc_threads;
   heap_ = std::make_unique<Heap>(cfg_.heap);
   caps_.reserve(cfg_.n_caps);
   for (std::uint32_t i = 0; i < cfg_.n_caps; ++i)
@@ -199,7 +218,7 @@ namespace {
 Obj* next_useful_spark(Capability& c) {
   while (auto s = c.pop_spark()) {
     Obj* v = follow(*s);
-    if (v->kind == ObjKind::Thunk) return *s;
+    if (kind_acquire(v) == ObjKind::Thunk) return *s;
     c.spark_stats().fizzled++;
   }
   return nullptr;
@@ -229,11 +248,14 @@ Tso* Machine::try_steal(Capability& thief) {
     Capability& victim = cap((thief.id() + k) % n);
     while (auto s = victim.steal_spark()) {
       Obj* v = follow(*s);
-      if (v->kind != ObjKind::Thunk) {
-        victim.spark_stats().fizzled++;
+      // Counters stay single-writer per capability: the thief records the
+      // steal/fizzle it observed, never the victim (two thieves on one
+      // victim would race); total_spark_stats sums are unchanged.
+      if (kind_acquire(v) != ObjKind::Thunk) {
+        thief.spark_stats().fizzled++;
         continue;
       }
-      victim.spark_stats().stolen++;
+      thief.spark_stats().stolen++;
       return run_spark(thief, *s, cfg_.sparkrun == SparkRunPolicy::SparkThread);
     }
   }
@@ -265,11 +287,9 @@ void Machine::push_work(Capability& c) {
       while (moved < cfg_.push_batch && v.spark_pool_size() == 0) {
         Obj* s = next_useful_spark(c);
         if (s == nullptr) break;
-        // The victim owns its deque; hand the spark over via its own
-        // push (safe: PushOnPoll runs under the sim/driver scheduler or
-        // with v idle and parked at its scheduler in the threaded driver).
-        v.spark(s);
-        v.spark_stats().created--;  // don't double-count creations
+        // Hand-over accounts against *our* stats: the victim's counters
+        // stay single-writer even with several capabilities pushing.
+        if (!v.accept_pushed_spark(s, c.spark_stats())) break;
         moved++;
       }
     }
@@ -290,11 +310,13 @@ bool Machine::spark_thread_continue(Capability& c, Tso& t) {
       Capability& victim = cap((c.id() + k) % n);
       while (auto st = victim.steal_spark()) {
         Obj* v = follow(*st);
-        if (v->kind != ObjKind::Thunk) {
-          victim.spark_stats().fizzled++;
+        // Single-writer: the stealing capability records the counts (see
+        // try_steal).
+        if (kind_acquire(v) != ObjKind::Thunk) {
+          c.spark_stats().fizzled++;
           continue;
         }
-        victim.spark_stats().stolen++;
+        c.spark_stats().stolen++;
         s = *st;
         break;
       }
@@ -584,32 +606,59 @@ void Machine::walk_tso(Gc& gc, Tso& t) {
   if (t.result != nullptr) gc.evacuate(t.result);
 }
 
+void Machine::walk_cap_sparks(Gc& gc, Capability& c) {
+  if (cfg_.gc_prune_sparks) {
+    // GHC's pruneSparkQueue: drop sparks whose target is already in
+    // WHNF (they would only fizzle later) and keep the rest, evacuated.
+    std::vector<Obj*> keep;
+    while (auto s = c.sparks_.pop()) {
+      if (follow(*s)->is_whnf()) {
+        c.spark_stats().pruned++;
+        continue;
+      }
+      keep.push_back(*s);
+    }
+    for (auto it = keep.rbegin(); it != keep.rend(); ++it) {
+      gc.evacuate(*it);
+      c.sparks_.push(*it);
+    }
+  } else {
+    c.sparks_.for_each_slot([&gc](Obj*& s) { gc.evacuate(s); });
+  }
+}
+
 void Machine::walk_roots(Gc& gc) {
   for (auto& t : tsos_) walk_tso(gc, *t);
   for (Obj*& c : caf_cells_)
     if (c != nullptr) gc.evacuate(c);
-  for (auto& c : caps_) {
-    if (cfg_.gc_prune_sparks) {
-      // GHC's pruneSparkQueue: drop sparks whose target is already in
-      // WHNF (they would only fizzle later) and keep the rest, evacuated.
-      std::vector<Obj*> keep;
-      while (auto s = c->sparks_.pop()) {
-        if (follow(*s)->is_whnf()) {
-          c->spark_stats().pruned++;
-          continue;
-        }
-        keep.push_back(*s);
-      }
-      for (auto it = keep.rbegin(); it != keep.rend(); ++it) {
-        gc.evacuate(*it);
-        c->sparks_.push(*it);
-      }
-    } else {
-      c->sparks_.for_each_slot([&gc](Obj*& s) { gc.evacuate(s); });
-    }
-  }
+  for (auto& c : caps_) walk_cap_sparks(gc, *c);
   for (auto& fn : root_walkers_)
     if (fn) fn(gc);
+}
+
+/// Root partition for the parallel collector: one shard per capability
+/// (that capability's spark pool plus a stride of the TSO table, so a run
+/// with few capabilities but many threads still balances) and one extra
+/// shard for the global roots (CAF cells, registered walkers). Slots are
+/// disjoint across shards; slot *values* may alias — the collector's
+/// header CAS arbitrates those.
+std::vector<Heap::RootWalker> Machine::root_shards() {
+  std::vector<Heap::RootWalker> shards;
+  const std::size_t k = caps_.size();
+  shards.reserve(k + 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    shards.push_back([this, i, k](Gc& gc) {
+      for (std::size_t t = i; t < tsos_.size(); t += k) walk_tso(gc, *tsos_[t]);
+      walk_cap_sparks(gc, *caps_[i]);
+    });
+  }
+  shards.push_back([this](Gc& gc) {
+    for (Obj*& c : caf_cells_)
+      if (c != nullptr) gc.evacuate(c);
+    for (auto& fn : root_walkers_)
+      if (fn) fn(gc);
+  });
+  return shards;
 }
 
 namespace {
@@ -650,7 +699,9 @@ void Machine::validate_roots(const char* when) {
 }
 
 std::uint64_t Machine::collect(bool force_major) {
-  std::uint64_t r = heap_->collect([this](Gc& gc) { walk_roots(gc); }, force_major);
+  std::uint64_t r = heap_->gc_threads() > 1
+                        ? heap_->collect(root_shards(), force_major)
+                        : heap_->collect([this](Gc& gc) { walk_roots(gc); }, force_major);
   if (std::getenv("PARHASK_GC_VALIDATE") != nullptr) validate_roots("post-collect");
   if (cfg_.sanity || std::getenv("PARHASK_SANITY") != nullptr)
     sanity_check("post-collect");

@@ -74,6 +74,11 @@ class Capability {
 
   // --- spark pool ----------------------------------------------------------
   void spark(Obj* p);                    // owner only (the `par` primitive)
+  /// PushOnPoll hand-over: another capability's thread moves an existing
+  /// spark into this (idle) pool. Counter writes go to `pusher_stats` so
+  /// every SparkStats keeps a single writing thread. Returns false when
+  /// the pool is full (the spark is dropped and counted overflowed).
+  bool accept_pushed_spark(Obj* p, SparkStats& pusher_stats);
   std::optional<Obj*> pop_spark();       // owner only
   std::optional<Obj*> steal_spark();     // any capability
   std::size_t spark_pool_size() const { return sparks_.size(); }
@@ -282,6 +287,8 @@ class Machine {
   Tso* new_tso(std::uint32_t cap);
   void walk_roots(Gc& gc);
   void walk_tso(Gc& gc, Tso& t);
+  void walk_cap_sparks(Gc& gc, Capability& c);
+  std::vector<Heap::RootWalker> root_shards();
   Tso* run_spark(Capability& c, Obj* spark_obj, bool as_spark_thread);
 
   struct WaitQueue {

@@ -11,10 +11,15 @@
 //   H1  every heap object has a valid header: kind within the ObjKind
 //       range and a footprint that stays inside its region's allocation
 //       frontier (a corrupt size would derail any subsequent walk);
-//   H2  no object carries the static flag inside a movable region;
+//   H2  no object carries the static flag inside a movable region, and no
+//       object still carries the parallel collector's GC-busy claim flag
+//       (a busy header outside a collection is a torn forwarding: a worker
+//       claimed the object but its Fwd publish never happened);
 //   H3  no stale Fwd headers outside a collection;
 //   H4  every pointer field designated by the scan rules is non-null and
-//       lands in a live region (old gen, live nursery prefix, or statics);
+//       lands in a live region — a closed to-space segment or the open
+//       allocation tail of the old gen (block-allocator holes between
+//       segments do NOT count), a live nursery prefix, or the statics;
 //   H5  black-hole / placeholder wait-queue indices are either kNoQueue or
 //       refer to an in-use wait queue;
 //   W1  every waiter recorded in an in-use wait queue is a valid TSO in
@@ -70,8 +75,11 @@ void Machine::sanity_check(const char* when) {
     throw RtsInternalError(msg, tid, what, kind, std::move(census));
   };
 
+  // in_live_old is deliberately tighter than in_old: pointers into a
+  // block-allocator hole (or past the allocation frontier) are corruption
+  // even though they land inside the old generation's address range.
   auto live = [&](const Obj* p) {
-    return heap_->in_old(p) || heap_->in_nursery(p) || heap_->in_static(p);
+    return heap_->in_live_old(p) || heap_->in_nursery(p) || heap_->in_static(p);
   };
 
   auto queue_ok = [&](Word qi) {
@@ -98,6 +106,10 @@ void Machine::sanity_check(const char* when) {
     if (o->is_static())
       fail("heap.flags", kNoThread, o,
            "movable object in " + where + " carries the static flag");
+    if ((o->flags & kFlagGcBusy) != 0)
+      fail("heap.flags", kNoThread, o,
+           "object in " + where + " still carries the GC-busy claim flag "
+           "outside a collection (torn forwarding)");
     if (o->kind == ObjKind::Fwd)
       fail("heap.fwd", kNoThread, o,
            "stale forwarding pointer in " + where + " outside a collection");

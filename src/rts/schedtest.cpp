@@ -56,6 +56,10 @@ const char* sched_point_name(SchedPoint p) {
     case SchedPoint::SparkActivate: return "spark.activate";
     case SchedPoint::ThunkEnter: return "thunk.enter";
     case SchedPoint::BlackHoleEnter: return "blackhole.enter";
+    case SchedPoint::GcEvacClaim: return "gc.evac-claim";
+    case SchedPoint::GcEvacSpin: return "gc.evac-spin";
+    case SchedPoint::GcEvacPublish: return "gc.evac-publish";
+    case SchedPoint::GcIdle: return "gc.idle";
     case SchedPoint::Custom: return "custom";
   }
   return "?";

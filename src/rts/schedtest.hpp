@@ -55,6 +55,10 @@ enum class SchedPoint : std::uint8_t {
   SparkActivate,   // machine: a spark is about to become a running thread
   ThunkEnter,      // evaluator: entering a thunk, before the transition lock
   BlackHoleEnter,  // evaluator: about to block on a black hole / placeholder
+  GcEvacClaim,     // parallel GC: before the CAS claiming an object's header
+  GcEvacSpin,      // parallel GC: object busy under another worker, waiting
+  GcEvacPublish,   // parallel GC: copy done, before the Fwd header release
+  GcIdle,          // parallel GC: worker out of work, in termination detection
   Custom           // scenario-defined
 };
 const char* sched_point_name(SchedPoint p);

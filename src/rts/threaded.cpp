@@ -11,6 +11,9 @@ namespace ph {
 ThreadedResult ThreadedDriver::run(Tso* main_tso) {
   const auto t0 = std::chrono::steady_clock::now();
   m_.set_concurrent(true);
+  // The stopped capabilities themselves are the GC worker team (GHC 6.10
+  // style): suppress the heap's internal pool for the duration of the run.
+  m_.heap().set_gc_donation(true);
   done_.store(false);
   deadlocked_.store(false);
   {
@@ -19,6 +22,7 @@ ThreadedResult ThreadedDriver::run(Tso* main_tso) {
     for (std::uint32_t i = 0; i < m_.n_caps(); ++i)
       workers.emplace_back([this, i, main_tso] { worker(i, main_tso); });
   }
+  m_.heap().set_gc_donation(false);
   m_.set_concurrent(false);
   if (m_.config().sanity) m_.sanity_check("threaded shutdown");
   const auto t1 = std::chrono::steady_clock::now();
@@ -36,12 +40,35 @@ void ThreadedDriver::barrier() {
   const std::uint64_t epoch = gc_epoch_;
   gc_arrived_++;
   if (gc_arrived_ == m_.n_caps()) {
-    // Last to park: run the sequential stop-the-world collection.
-    if (!done_.load()) m_.collect(force_major_.exchange(false));
+    // Last to park: lead the stop-the-world collection. The mutex is
+    // released while collecting so the parked capabilities can donate
+    // themselves to the heap's GC worker team (poll loop below).
+    if (!done_.load()) {
+      gc_collecting_ = true;
+      gc_cv_.notify_all();
+      lk.unlock();
+      m_.collect(force_major_.exchange(false));
+      lk.lock();
+      gc_collecting_ = false;
+    }
     gc_arrived_ = 0;
     gc_epoch_++;
     gc_cv_.notify_all();
     return;
+  }
+  gc_cv_.wait(lk, [&] { return gc_collecting_ || gc_epoch_ != epoch || done_.load(); });
+  if (m_.heap().gc_threads() > 1) {
+    // Donate this stopped capability as a GC worker. try_help_collect()
+    // never blocks waiting for a session: if the leader's collection
+    // already finished (or has not opened yet from this poll's point of
+    // view) it returns false immediately and the loop re-checks the epoch
+    // — so a session that opens and closes between polls is simply missed.
+    while (gc_collecting_ && gc_epoch_ == epoch && !done_.load()) {
+      lk.unlock();
+      m_.heap().try_help_collect();
+      std::this_thread::yield();
+      lk.lock();
+    }
   }
   gc_cv_.wait(lk, [&] { return gc_epoch_ != epoch || done_.load(); });
   if (done_.load()) return;

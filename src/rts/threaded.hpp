@@ -10,8 +10,11 @@
 //
 // GC protocol: when any capability fails to allocate it requests a
 // collection; every worker parks at its next safe point; the last to park
-// performs the (sequential, stop-the-world) collection and releases the
-// others — exactly the GHC 6.x structure the paper optimises.
+// leads the stop-the-world collection — exactly the GHC 6.x structure the
+// paper optimises. With --gc-threads > 1 the parked capabilities do not
+// just wait: they poll Heap::try_help_collect() and join the leader's
+// worker team (GHC 6.10's parallel GC recruited the stopped capabilities
+// the same way), then resume mutating when the epoch advances.
 #pragma once
 
 #include <atomic>
@@ -49,6 +52,7 @@ class ThreadedDriver {
   std::condition_variable gc_cv_;
   std::uint32_t gc_arrived_ = 0;
   std::uint64_t gc_epoch_ = 0;
+  bool gc_collecting_ = false;  // leader is inside m_.collect(); helpers poll
   std::atomic<bool> done_{false};
   std::atomic<bool> deadlocked_{false};
   std::atomic<std::uint64_t> progress_{0};

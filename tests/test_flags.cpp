@@ -81,6 +81,19 @@ TEST(Flags, SanityFlagShowRoundTrips) {
   EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2")).find("-DS"), std::string::npos);
 }
 
+TEST(Flags, GcThreadsFlag) {
+  EXPECT_EQ(parse_rts_flags("").gc_threads, 0u);  // 0 = match -N
+  EXPECT_EQ(parse_rts_flags("--gc-threads=4").gc_threads, 4u);
+  EXPECT_EQ(parse_rts_flags("-N8 --gc-threads=1 -qs").gc_threads, 1u);
+  // Round-trips through show, and the match--N default stays implicit.
+  RtsConfig c = parse_rts_flags("-N4 --gc-threads=2");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find("--gc-threads=2"), std::string::npos) << shown;
+  EXPECT_EQ(parse_rts_flags(shown).gc_threads, 2u);
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N4")).find("--gc-threads"),
+            std::string::npos);
+}
+
 TEST(SchedFlags, ParseAndDefaults) {
   SchedPlan d;
   EXPECT_FALSE(d.enabled());

@@ -233,5 +233,140 @@ TEST(Heap, GrowsOldGenerationOnDemand) {
   EXPECT_EQ(n, 30000u);
 }
 
+// --- parallel-collector block-allocator regressions --------------------------
+
+TEST(HeapBlocks, RefillAtExactBlockBoundary) {
+  // gc_block_words = 16 (the clamp minimum); Ints with 7 payload words cost
+  // exactly 8, so two fill a block with blk_ptr_ == blk_end_ — the refill
+  // guard must fire on equality, not only on overflow.
+  HeapConfig cfg = small_heap();
+  cfg.gc_threads = 2;
+  cfg.gc_block_words = 16;
+  Heap h(cfg);
+  std::vector<Obj*> roots;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    Obj* o = h.alloc(0, ObjKind::Int, 0, 7);  // raw payload, no scan
+    ASSERT_NE(o, nullptr);
+    o->payload()[0] = static_cast<Word>(i);
+    roots.push_back(o);
+  }
+  h.collect([&roots](Gc& gc) {
+    for (Obj*& r : roots) gc.evacuate(r);
+  });
+  EXPECT_EQ(h.stats().parallel_collections, 1u);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    EXPECT_FALSE(h.in_nursery(roots[static_cast<std::size_t>(i)]));
+    EXPECT_TRUE(h.in_live_old(roots[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(roots[static_cast<std::size_t>(i)]->int_value(), i);
+  }
+  EXPECT_EQ(h.census().objects_by_kind[static_cast<std::size_t>(ObjKind::Int)], 20u);
+}
+
+TEST(HeapBlocks, BlockHolesAreNotLiveAndWalkSkipsThem) {
+  // Ints with 6 payload words cost 7: two per 16-word block leave a 2-word
+  // hole at each block end. The object walk must skip holes and in_live_old
+  // must reject pointers into them.
+  HeapConfig cfg = small_heap();
+  cfg.gc_threads = 2;
+  cfg.gc_block_words = 16;
+  Heap h(cfg);
+  std::vector<Obj*> roots;
+  for (std::int64_t i = 0; i < 25; ++i) {
+    Obj* o = h.alloc(0, ObjKind::Int, 0, 6);
+    ASSERT_NE(o, nullptr);
+    o->payload()[0] = static_cast<Word>(i);
+    roots.push_back(o);
+  }
+  h.collect([&roots](Gc& gc) {
+    for (Obj*& r : roots) gc.evacuate(r);
+  });
+  std::size_t walked = 0;
+  std::int64_t sum = 0;
+  h.walk_objects([&](Obj* o, const char*, std::uint32_t, const Word*) {
+    ASSERT_EQ(o->kind, ObjKind::Int);  // a walk into a hole reads garbage
+    walked++;
+    sum += o->int_value();
+  });
+  EXPECT_EQ(walked, 25u);
+  EXPECT_EQ(sum, 25 * 24 / 2);
+  // The word right after a surviving object is block-hole or next header;
+  // a pointer one word past the last object's footprint that lands between
+  // segments must not be "live".
+  for (Obj* r : roots) EXPECT_TRUE(h.in_live_old(r));
+}
+
+TEST(HeapBlocks, LargeObjectsGetDedicatedExactBlocks) {
+  // alloc_words > gc_block_words/2 takes the dedicated-block path: an
+  // exact-size carve, no half-empty shared block.
+  HeapConfig cfg = small_heap(1, 2048);
+  cfg.gc_threads = 2;
+  cfg.gc_block_words = 16;
+  Heap h(cfg);
+  Obj* shared = alloc_int(h, 0, 99);
+  std::vector<Obj*> roots;
+  for (int i = 0; i < 6; ++i) {
+    Obj* big = h.alloc(0, ObjKind::Con, 2, 100);  // 101 words > 16/2
+    ASSERT_NE(big, nullptr);
+    for (std::uint32_t j = 0; j < 100; ++j) big->ptr_payload()[j] = shared;
+    roots.push_back(big);
+    roots.push_back(alloc_int(h, 0, i));  // interleave small survivors
+  }
+  h.collect([&roots](Gc& gc) {
+    for (Obj*& r : roots) gc.evacuate(r);
+  });
+  EXPECT_EQ(h.stats().parallel_collections, 1u);
+  EXPECT_EQ(h.stats().tospace_overflows, 0u);
+  Obj* s = roots[0]->ptr_payload()[0];
+  EXPECT_EQ(s->int_value(), 99);
+  for (std::size_t i = 0; i < roots.size(); i += 2) {
+    EXPECT_TRUE(h.in_live_old(roots[i]));
+    EXPECT_EQ(roots[i]->size, 100u);
+    // Sharing survives: every field of every big object is the same Int.
+    EXPECT_EQ(roots[i]->ptr_payload()[57], s);
+  }
+}
+
+TEST(HeapBlocks, ToSpaceExhaustionGrowsOldGenMidCollection) {
+  // 67 objects of 342 words = 22914 live words fit the 32k semispace, and
+  // the major-GC sizing (need = live + nursery + headroom = 26050) stays
+  // under the 0.8 doubling threshold — but block-granular to-space needs
+  // 34 blocks of 1024 = 34816 words (two objects per block, 340 wasted
+  // each): mid-collection the carve cursor MUST fall off the semispace and
+  // grab an overflow slab instead of throwing.
+  HeapConfig cfg;
+  cfg.n_nurseries = 1;
+  cfg.nursery_words = 64;
+  cfg.old_words = 32 * 1024;
+  cfg.gc_threads = 2;
+  cfg.gc_block_words = 1024;
+  Heap h(cfg);
+  std::vector<Obj*> roots;
+  for (std::int64_t i = 0; i < 67; ++i) {
+    Obj* o = h.alloc_old(ObjKind::Int, 0, 341);
+    ASSERT_NE(o, nullptr);
+    o->payload()[0] = static_cast<Word>(i);
+    roots.push_back(o);
+  }
+  h.collect([&roots](Gc& gc) {
+    for (Obj*& r : roots) gc.evacuate(r);
+  }, /*force_major=*/true);
+  EXPECT_GE(h.stats().tospace_overflows, 1u);
+  EXPECT_GE(h.old_overflow_regions(), 1u);
+  for (std::int64_t i = 0; i < 67; ++i) {
+    Obj* o = roots[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(h.in_live_old(o));
+    EXPECT_EQ(o->int_value(), i);
+  }
+  // The next major evacuates the overflow slabs and frees them.
+  roots.resize(5);
+  h.collect([&roots](Gc& gc) {
+    for (Obj*& r : roots) gc.evacuate(r);
+  }, /*force_major=*/true);
+  EXPECT_EQ(h.old_overflow_regions(), 0u);
+  for (std::int64_t i = 0; i < 5; ++i)
+    EXPECT_EQ(roots[static_cast<std::size_t>(i)]->int_value(), i);
+  EXPECT_EQ(h.census().objects_by_kind[static_cast<std::size_t>(ObjKind::Int)], 5u);
+}
+
 }  // namespace
 }  // namespace ph

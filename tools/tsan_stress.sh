@@ -1,21 +1,35 @@
 #!/usr/bin/env bash
-# ThreadSanitizer stress job for the schedule-exploration harness.
+# Sanitizer stress job for the schedule-exploration harness and the
+# parallel GC.
 #
-# Builds the tree with PARHASK_SANITIZE=thread and runs the schedtest-labelled
-# tests (Chase-Lev deque races, black-hole entry ordering, perturbed full
-# ThreadedDriver runs) under many random schedules: each iteration exports a
-# fresh PARHASK_SCHED_SEED, which SchedStress.SumEulerCorrectUnderRandomPerturbation
-# picks up to derive all its delay decisions. A data race found by TSan is
+# Builds the tree with PARHASK_SANITIZE=thread and runs two labelled
+# suites under many random schedules:
+#   schedtest — Chase-Lev deque races, black-hole entry ordering, perturbed
+#               full ThreadedDriver runs;
+#   gc        — the parallel-GC torture suite (random graphs vs the
+#               sequential oracle, evacuation CAS-race exploration, the
+#               ThreadedDriver hammer with frequent team collections).
+# Each iteration exports a fresh PARHASK_SCHED_SEED, which the seeded tests
+# pick up to derive their delay decisions. A data race found by TSan is
 # therefore reproducible: re-export the seed printed on the failing line and
-# re-run the same ctest command.
+# re-run the same ctest command. With --asan an AddressSanitizer pass over
+# the gc label follows the TSan sweep (one iteration — ASan failures are
+# not schedule-dependent): the block-structured to-space is exactly where a
+# bad carve would read out of bounds.
 #
-# Usage: tools/tsan_stress.sh [iterations] [base-seed]
+# Usage: tools/tsan_stress.sh [iterations] [base-seed] [--asan]
 #   iterations  number of seeds to try        (default 20)
 #   base-seed   first seed; i-th run uses base-seed + i  (default 1)
+#   --asan      also build with PARHASK_SANITIZE=address and run `-L gc`
 set -euo pipefail
 
-iterations=${1:-20}
-base_seed=${2:-1}
+run_asan=0
+args=()
+for a in "$@"; do
+  if [[ $a == --asan ]]; then run_asan=1; else args+=("$a"); fi
+done
+iterations=${args[0]:-20}
+base_seed=${args[1]:-1}
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${TSAN_BUILD_DIR:-"$repo_root/build-tsan"}
 
@@ -31,14 +45,25 @@ for ((i = 0; i < iterations; ++i)); do
   seed=$((base_seed + i))
   echo "=== tsan_stress: seed $seed ($((i + 1))/$iterations) ==="
   if ! (cd "$build_dir" && PARHASK_SCHED_SEED=$seed \
-        ctest -L schedtest --output-on-failure); then
+        ctest -L 'schedtest|gc' --output-on-failure); then
     echo "tsan_stress: FAILURE at PARHASK_SCHED_SEED=$seed" >&2
     echo "reproduce with:" >&2
-    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L schedtest --output-on-failure" >&2
+    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc' --output-on-failure" >&2
     fail=1
     break
   fi
 done
+
+if [[ $fail -eq 0 && $run_asan -eq 1 ]]; then
+  asan_dir=${ASAN_BUILD_DIR:-"$repo_root/build-asan"}
+  echo "=== tsan_stress: ASan pass over the gc label ==="
+  cmake -B "$asan_dir" -S "$repo_root" -DPARHASK_SANITIZE=address
+  cmake --build "$asan_dir" -j "$(nproc)"
+  if ! (cd "$asan_dir" && ctest -L gc --output-on-failure); then
+    echo "tsan_stress: ASan FAILURE (ctest -L gc in $asan_dir)" >&2
+    fail=1
+  fi
+fi
 
 if [[ $fail -eq 0 ]]; then
   echo "tsan_stress: $iterations seeds clean (base seed $base_seed)"
