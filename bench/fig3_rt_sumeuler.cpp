@@ -1,0 +1,72 @@
+// Fig. 3 (real time) — "Relative speedup for sumEuler", measured.
+//
+// The virtual-time fig3_speedup_sumeuler models the Eden curve; this
+// harness measures it: one OS thread per PE (EdenThreadedDriver), the
+// chunk lists and the partial sums really packed by pack.cpp and shipped
+// over a src/net transport. parMap+reduce over [1..n] in `--chunk`-sized
+// chunks, PE counts 1,2,4,... up to --max-pes, on shm and tcp (--transport
+// narrows it). Every cell's value is checked against the host-side
+// reference; the points merge into BENCH_eden_rt.json (--out; --fresh
+// overwrites an existing report instead of appending to it).
+#include "rt_support.hpp"
+
+using namespace ph;
+using namespace ph::bench;
+
+int main(int argc, char** argv) {
+  const std::int64_t n = arg_int(argc, argv, "--n", 120);
+  const std::int64_t chunk = arg_int(argc, argv, "--chunk", 15);
+  const std::int64_t max_pes = arg_int(argc, argv, "--max-pes", 4);
+  std::string out_path = "BENCH_eden_rt.json";
+  bool fresh = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) out_path = argv[i + 1];
+    if (std::string(argv[i]) == "--fresh") fresh = true;
+  }
+  Program prog = make_full_program();
+  const std::int64_t expect = sum_euler_reference(n);
+
+  std::printf("Fig.3 (real time) — sumEuler [1..%lld], chunk %lld, "
+              "wall-clock PEs\n",
+              static_cast<long long>(n), static_cast<long long>(chunk));
+  std::printf("%-10s %5s %12s %10s %10s %10s\n", "transport", "pes", "seconds",
+              "speedup", "messages", "bytes");
+
+  std::vector<RtPoint> points;
+  for (EdenTransportKind t : arg_transports(argc, argv)) {
+    double t1 = 0.0;
+    for (std::uint32_t p = 1; p <= static_cast<std::uint32_t>(max_pes); p *= 2) {
+      EdenConfig cfg;
+      cfg.n_pes = p;
+      cfg.n_cores = p;
+      cfg.pe_rts = config_worksteal_eagerbh(1);
+      cfg.pe_rts.heap.nursery_words = 256 * 1024;
+      cfg.transport = t;
+      RtRun r = run_eden_rt(prog, cfg, [&](EdenSystem& sys) {
+        std::vector<Obj*> tasks = chunk_inputs(sys.pe(0), n, chunk);
+        Obj* partials = skel::par_map_reduce(sys, prog.find("sumPhi"), tasks);
+        return skel::root_apply(sys, prog.find("sum"), {partials});
+      });
+      check_value(r.value, expect, "rt sumEuler");
+      if (p == 1) t1 = r.seconds;
+      RtPoint pt;
+      pt.transport = eden_transport_name(t);
+      pt.pes = p;
+      pt.seconds = r.seconds;
+      pt.speedup = r.seconds > 0.0 ? t1 / r.seconds : 1.0;
+      pt.messages = r.messages;
+      pt.bytes = r.bytes_sent;
+      pt.gc_count = r.gc_count;
+      points.push_back(pt);
+      std::printf("%-10s %5u %12.6f %10.2f %10llu %10llu\n", pt.transport.c_str(),
+                  p, pt.seconds, pt.speedup,
+                  static_cast<unsigned long long>(pt.messages),
+                  static_cast<unsigned long long>(pt.bytes));
+    }
+  }
+  write_rt_json(out_path, fresh, "sumeuler", n, points);
+  std::printf("Expected shape: speedup grows with PEs on a multicore host "
+              "(flat ~1.0 when the PEs time-share one core); tcp pays more "
+              "per message than shm.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Shared support for the real-time Eden harnesses (fig3_rt_sumeuler,
+// fig5_rt_apsp): run helper for EdenThreadedDriver and the merging
+// BENCH_eden_rt.json writer.
+//
+// Unlike the virtual-time figures these report *wall-clock seconds* —
+// every PE is a real OS thread and every message really crosses a
+// transport (shm mailboxes or framed localhost TCP), so the numbers
+// depend on the host. On a single-core box the PEs time-share one CPU
+// and the speedup column flattens at ~1.0; the per-point message/byte
+// counts remain meaningful everywhere.
+//
+// JSON schema (one file accumulates both programs):
+//   { "bench": "eden_rt",
+//     "programs": [
+//       { "program": "sumeuler", "size": 120,
+//         "points": [
+//           { "transport": "shm", "pes": 2, "seconds": 0.004,
+//             "speedup": 1.7, "messages": 42, "bytes": 9000,
+//             "gc_count": 3 }, ... ] }, ... ] }
+#pragma once
+
+#include <fstream>
+#include <sstream>
+
+#include "eden/eden_rt.hpp"
+#include "support.hpp"
+
+namespace ph::bench {
+
+struct RtPoint {
+  std::string transport;
+  std::uint32_t pes = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t gc_count = 0;
+};
+
+/// Scalars copied out of an EdenRtResult before the system (and with it
+/// every PE heap the result Obj* lives in) is torn down.
+struct RtRun {
+  std::int64_t value = 0;
+  double seconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t gc_count = 0;
+};
+
+/// Runs `setup(sys)`'s root TSO on a fresh real-time Eden system under
+/// EdenThreadedDriver. Deadlock is fatal — the figures assume completion.
+inline RtRun run_eden_rt(const Program& prog, EdenConfig cfg,
+                         const std::function<Tso*(EdenSystem&)>& setup) {
+  EdenSystem sys(prog, cfg);
+  Tso* root = setup(sys);
+  EdenThreadedDriver d(sys);
+  EdenRtResult r = d.run(root);
+  if (r.deadlocked) {
+    std::fprintf(stderr, "FATAL: real-time Eden run deadlocked\n%s\n",
+                 r.diagnosis.describe().c_str());
+    std::exit(1);
+  }
+  RtRun run;
+  run.value = read_int(r.value);  // while the owning heap is still alive
+  run.seconds = r.seconds;
+  run.messages = r.messages;
+  run.bytes_sent = r.bytes_sent;
+  run.gc_count = r.gc_count;
+  return run;
+}
+
+/// `--transport shm|tcp|both` selection.
+inline std::vector<EdenTransportKind> arg_transports(int argc, char** argv) {
+  std::string name = "both";
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--transport") == 0) name = argv[i + 1];
+  if (name == "shm") return {EdenTransportKind::Shm};
+  if (name == "tcp") return {EdenTransportKind::Tcp};
+  if (name == "both") return {EdenTransportKind::Shm, EdenTransportKind::Tcp};
+  std::fprintf(stderr, "unknown --transport '%s' (expected shm, tcp or both)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+/// Merges one program's measurements into a BENCH_eden_rt.json report.
+/// If `path` already holds an eden_rt report (and `fresh` is false) the
+/// new program entry is appended to its "programs" array, so the two
+/// harnesses accumulate into one file; anything else is overwritten.
+inline void write_rt_json(const std::string& path, bool fresh,
+                          const std::string& program, std::int64_t size,
+                          const std::vector<RtPoint>& points) {
+  std::ostringstream entry;
+  entry << "    {\"program\": \"" << program << "\", \"size\": " << size
+        << ", \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RtPoint& p = points[i];
+    entry << "      {\"transport\": \"" << p.transport
+          << "\", \"pes\": " << p.pes << ", \"seconds\": " << p.seconds
+          << ", \"speedup\": " << p.speedup << ", \"messages\": " << p.messages
+          << ", \"bytes\": " << p.bytes << ", \"gc_count\": " << p.gc_count
+          << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  entry << "    ]}";
+
+  const std::string head = "{\n  \"bench\": \"eden_rt\",\n  \"programs\": [\n";
+  const std::string tail = "\n  ]\n}\n";
+  std::string existing;
+  if (!fresh) {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::ofstream json(path);
+  if (existing.rfind(head, 0) == 0 && existing.size() > head.size() + tail.size() &&
+      existing.compare(existing.size() - tail.size(), tail.size(), tail) == 0) {
+    json << existing.substr(0, existing.size() - tail.size()) << ",\n"
+         << entry.str() << tail;
+  } else {
+    json << head << entry.str() << tail;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace ph::bench

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "net/transport.hpp"
+
 namespace ph {
 
 // ===========================================================================
@@ -16,6 +18,30 @@ EdenSystem::EdenSystem(const Program& prog, EdenConfig cfg)
     throw ProgramError("Eden system needs at least one PE and one core");
   cfg_.pe_rts.n_caps = 1;  // one capability per PE: a sequential GHC runtime
   reliable_ = cfg_.fault.enabled();
+  // The --eden-rt / --eden-transport flags (per-PE RTS config) override an
+  // unset (Sim) transport choice; --eden-rt alone defaults to shm.
+  if (cfg_.transport == EdenTransportKind::Sim) {
+    if (cfg_.pe_rts.eden_transport != EdenTransportKind::Sim)
+      cfg_.transport = cfg_.pe_rts.eden_transport;
+    else if (cfg_.pe_rts.eden_rt)
+      cfg_.transport = EdenTransportKind::Shm;
+  }
+  realtime_ = cfg_.transport != EdenTransportKind::Sim;
+  if (realtime_) {
+    // The sim-only machinery that cannot run against wall clocks: crash
+    // supervision needs the global virtual clock and single-threaded
+    // channel migration; the alloc-fault hook is a shared counter.
+    if (cfg_.fault.crashes())
+      throw ProgramError("PE-crash fault plans are sim-only "
+                         "(the real-time driver has no crash supervisor)");
+    if (cfg_.fault.alloc_fail_at != 0)
+      throw ProgramError("alloc-fault plans are sim-only "
+                         "(the injector's allocation counter is shared)");
+    recording_ = false;
+    rt_.reserve(cfg_.n_pes);
+    for (std::uint32_t i = 0; i < cfg_.n_pes; ++i)
+      rt_.push_back(std::make_unique<RtPe>());
+  }
   alive_.assign(cfg_.n_pes, true);
   pes_.reserve(cfg_.n_pes);
   pe_now_.assign(cfg_.n_pes, 0);
@@ -24,7 +50,7 @@ EdenSystem::EdenSystem(const Program& prog, EdenConfig cfg)
     auto m = std::make_unique<Machine>(prog_, cfg_.pe_rts);
     m->pe_id = i;
     m->user_data = this;
-    if (reliable_) m->set_fault(&injector_);
+    if (reliable_ && !realtime_) m->set_fault(&injector_);
     // Root the channel placeholders living in this PE's heap.
     m->add_root_walker([this, i](Gc& gc) {
       for (ChannelState& ch : channels_)
@@ -64,6 +90,10 @@ void EdenSystem::note(std::uint32_t pe, std::uint64_t time, std::string text) {
 
 void EdenSystem::enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind,
                          Packet p) {
+  if (realtime_) {
+    rt_send(src_pe, channel, kind, std::move(p));
+    return;
+  }
   ChannelState& ch = channels_.at(channel);
   messages_sent_++;
   words_sent_ += p.size_words();
@@ -71,23 +101,15 @@ void EdenSystem::enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind ki
     // Reliable channel: log the send (the log doubles as retransmit buffer
     // and crash-replay source), then make the first transmission attempt
     // over the lossy link. Ordering is restored receiver-side by cseq.
-    SentRecord r;
-    r.cseq = ch.next_cseq++;
-    r.kind = kind;
-    r.src_pe = src_pe;
-    r.epoch = ch.epoch;
-    r.attempts = 1;
-    r.cur_timeout = injector_.plan().retry_timeout;
     const std::uint64_t now = pe_now_.at(src_pe);
-    r.next_retry_at = now + r.cur_timeout;
+    net::SentRecord& r = ch.ep.log_send(kind, src_pe, now, injector_.plan().retry_timeout);
     transmit(channel, kind, p, r.cseq, r.epoch, src_pe, /*attempt=*/0, now);
     r.packet = std::move(p);
-    ch.log.push_back(std::move(r));
     return;
   }
   Msg m;
-  m.channel = channel;
-  m.kind = kind;
+  m.data.channel = channel;
+  m.data.kind = kind;
   m.seq = msg_seq_++;
   m.deliver_at = pe_now_.at(src_pe) + cfg_.cost.msg_latency +
                  (p.size_words() / 8) * cfg_.cost.msg_per_8words;
@@ -95,7 +117,7 @@ void EdenSystem::enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind ki
   // later must not overtake a large one sent earlier.
   m.deliver_at = std::max(m.deliver_at, ch.last_deliver_at);
   ch.last_deliver_at = m.deliver_at;
-  m.packet = std::move(p);
+  m.data.packet = std::move(p);
   inboxes_.at(ch.pe).push(std::move(m));
 }
 
@@ -118,12 +140,13 @@ void EdenSystem::transmit(std::uint64_t channel, MsgKind kind, const Packet& p,
     fs.delayed++;
   }
   m.seq = msg_seq_++;
-  m.channel = channel;
-  m.kind = kind;
-  m.packet = p;
-  m.cseq = cseq;
-  m.epoch = epoch;
-  m.src_pe = src_pe;
+  m.data.channel = channel;
+  m.data.kind = kind;
+  m.data.packet = p;
+  m.data.cseq = cseq;
+  m.data.epoch = epoch;
+  m.data.src_pe = src_pe;
+  m.data.attempt = attempt;
   const bool dup = injector_.duplicate_message(channel, cseq, attempt);
   inboxes_.at(ch.pe).push(m);
   if (dup) {
@@ -134,7 +157,7 @@ void EdenSystem::transmit(std::uint64_t channel, MsgKind kind, const Packet& p,
   }
 }
 
-void EdenSystem::send_ack(const Msg& data) {
+void EdenSystem::send_ack(const net::DataMsg& data) {
   FaultStats& fs = injector_.stats();
   fs.acks++;
   if (injector_.drop_ack(data.channel, data.cseq)) {
@@ -146,51 +169,136 @@ void EdenSystem::send_ack(const Msg& data) {
   Msg a;
   a.deliver_at = pe_now_.at(recv_pe) + cfg_.cost.msg_latency;
   a.seq = msg_seq_++;
-  a.channel = data.channel;
-  a.kind = MsgKind::Ack;
-  a.cseq = data.cseq;
-  a.epoch = data.epoch;
-  a.src_pe = recv_pe;
+  a.data.channel = data.channel;
+  a.data.kind = MsgKind::Ack;
+  a.data.cseq = data.cseq;
+  a.data.epoch = data.epoch;
+  a.data.src_pe = recv_pe;
   inboxes_.at(data.src_pe).push(std::move(a));
 }
 
 void EdenSystem::service_retries(std::uint64_t now) {
   if (!reliable_) return;
   const FaultPlan& plan = injector_.plan();
+  const auto dead_sender = [this](const net::SentRecord& r) {
+    return !alive_.at(r.src_pe);
+  };
   for (std::uint64_t ci = 0; ci < channels_.size(); ++ci) {
     ChannelState& ch = channels_[ci];
     if (!alive_.at(ch.pe)) continue;  // nobody to deliver to until re-pointed
-    for (SentRecord& r : ch.log) {
-      if (r.acked || !alive_.at(r.src_pe)) continue;
-      if (plan.retry_max != 0 && r.attempts >= plan.retry_max) continue;
-      if (now < r.next_retry_at) continue;
-      const std::uint32_t attempt = r.attempts++;
-      injector_.stats().retries++;
-      note(r.src_pe, now,
-           "retry ch" + std::to_string(ci) + " #" + std::to_string(r.cseq) +
-               " attempt " + std::to_string(attempt + 1));
-      transmit(ci, r.kind, r.packet, r.cseq, r.epoch, r.src_pe, attempt, now);
-      r.cur_timeout = static_cast<std::uint64_t>(
-          static_cast<double>(r.cur_timeout) * plan.retry_backoff);
-      if (r.cur_timeout == 0) r.cur_timeout = 1;
-      r.next_retry_at = now + r.cur_timeout;
-    }
+    ch.ep.service_retries(
+        now, plan, injector_.stats(), dead_sender,
+        [&](net::SentRecord& r, std::uint32_t attempt) {
+          note(r.src_pe, now,
+               "retry ch" + std::to_string(ci) + " #" + std::to_string(r.cseq) +
+                   " attempt " + std::to_string(attempt + 1));
+          transmit(ci, r.kind, r.packet, r.cseq, r.epoch, r.src_pe, attempt, now);
+        });
   }
 }
 
 std::optional<std::uint64_t> EdenSystem::next_retry_event() const {
   if (!reliable_) return std::nullopt;
   const FaultPlan& plan = injector_.plan();
+  const auto dead_sender = [this](const net::SentRecord& r) {
+    return !alive_.at(r.src_pe);
+  };
   std::optional<std::uint64_t> ev;
   for (const ChannelState& ch : channels_) {
     if (!alive_.at(ch.pe)) continue;
-    for (const SentRecord& r : ch.log) {
-      if (r.acked || !alive_.at(r.src_pe)) continue;
-      if (plan.retry_max != 0 && r.attempts >= plan.retry_max) continue;
-      if (!ev || r.next_retry_at < *ev) ev = r.next_retry_at;
-    }
+    if (auto r = ch.ep.next_retry_at(plan, dead_sender))
+      if (!ev || *r < *ev) ev = *r;
   }
   return ev;
+}
+
+// --- real-time mode ----------------------------------------------------------
+
+void EdenSystem::attach_rt(net::Transport* t) {
+  transport_ = t;
+  rt_epoch_ = std::chrono::steady_clock::now();
+}
+
+void EdenSystem::rt_send(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind,
+                         Packet p) {
+  ChannelState& ch = channels_.at(channel);
+  net::DataMsg m;
+  m.channel = channel;
+  m.kind = kind;
+  m.src_pe = src_pe;
+  if (reliable_) {
+    // Sender-side protocol state is only ever touched from this (the
+    // producing PE's) thread; see the contract in net/channel.hpp.
+    RtPe& rp = *rt_.at(src_pe);
+    net::SentRecord& r = ch.ep.log_send(kind, src_pe, rt_now(),
+                                        injector_.plan().retry_timeout);
+    if (ch.ep.log().size() == 1) rp.produced.push_back(channel);
+    rp.unacked.fetch_add(1, std::memory_order_acq_rel);
+    m.cseq = r.cseq;
+    m.epoch = r.epoch;
+    r.packet = p;  // keep a copy for retransmission
+  }
+  m.packet = std::move(p);
+  transport_->send(ch.pe, m);
+}
+
+bool EdenSystem::rt_drain(std::uint32_t pi) {
+  bool any = false;
+  RtPe* rp = realtime_ && reliable_ ? rt_.at(pi).get() : nullptr;
+  while (std::optional<net::DataMsg> m = transport_->poll(pi)) {
+    any = true;
+    ChannelState& ch = channels_.at(m->channel);
+    if (!reliable_) {
+      apply_data(m->channel, m->kind, m->packet);
+      continue;
+    }
+    if (m->kind == MsgKind::Ack) {
+      // Acks come home to the data sender (us): settle the log record and
+      // lower the quiescence supervisor's unacked count.
+      const std::uint32_t settled = ch.ep.settle_ack(m->cseq, m->epoch);
+      if (settled != 0) rp->unacked.fetch_sub(settled, std::memory_order_acq_rel);
+      continue;
+    }
+    const bool ack = ch.ep.receive(
+        *m, rp->fs,
+        [this](const net::DataMsg& d) { apply_data(d.channel, d.kind, d.packet); });
+    if (ack) {
+      rp->fs.acks++;
+      net::DataMsg a;
+      a.channel = m->channel;
+      a.kind = MsgKind::Ack;
+      a.cseq = m->cseq;
+      a.epoch = m->epoch;
+      a.src_pe = pi;
+      // The ack inherits the data transmission's attempt, so each
+      // retransmission's ack gets its own deterministic loss draw.
+      a.attempt = m->attempt;
+      transport_->send(m->src_pe, a);
+    }
+  }
+  return any;
+}
+
+void EdenSystem::rt_service_retries(std::uint32_t pi) {
+  if (!reliable_) return;
+  RtPe& rp = *rt_.at(pi);
+  const std::uint64_t now = rt_now();
+  const auto keep_all = [](const net::SentRecord&) { return false; };
+  for (std::uint64_t chid : rp.produced) {
+    ChannelState& ch = channels_.at(chid);
+    ch.ep.service_retries(now, injector_.plan(), rp.fs, keep_all,
+                          [&](net::SentRecord& r, std::uint32_t attempt) {
+                            net::DataMsg m;
+                            m.channel = chid;
+                            m.kind = r.kind;
+                            m.packet = r.packet;
+                            m.cseq = r.cseq;
+                            m.epoch = r.epoch;
+                            m.src_pe = r.src_pe;
+                            m.attempt = attempt;
+                            transport_->send(ch.pe, m);
+                          });
+  }
 }
 
 void EdenSystem::send_value(std::uint32_t src_pe, std::uint64_t channel, Obj* nf_root) {
@@ -205,59 +313,45 @@ void EdenSystem::send_stream_close(std::uint32_t src_pe, std::uint64_t channel) 
 }
 
 void EdenSystem::deliver(const Msg& m) {
-  ChannelState& ch = channels_.at(m.channel);
+  ChannelState& ch = channels_.at(m.data.channel);
   if (reliable_) {
-    if (m.kind == MsgKind::Ack) {
+    if (m.data.kind == MsgKind::Ack) {
       // Routed back to the data sender: settle the matching log record.
-      // The epoch must match — an ack raised before a channel re-point
-      // must not settle the replayed incarnation of the same record.
-      for (SentRecord& r : ch.log)
-        if (r.cseq == m.cseq && r.epoch == m.epoch) r.acked = true;
+      ch.ep.settle_ack(m.data.cseq, m.data.epoch);
       return;
     }
-    if (!alive_.at(ch.pe)) return;        // receiver died while in flight
-    if (m.epoch != ch.epoch) return;      // stale incarnation: drop, no ack
-    send_ack(m);                          // ack duplicates too (ack loss)
-    if (m.cseq < ch.expected_cseq) {
-      injector_.stats().dedup_dropped++;  // already applied
-      return;
-    }
-    if (m.cseq > ch.expected_cseq) {
-      ch.reorder.emplace(m.cseq, m);      // hold until the gap closes
-      return;
-    }
-    apply_msg(m);
-    ch.expected_cseq++;
-    while (!ch.reorder.empty() && ch.reorder.begin()->first == ch.expected_cseq) {
-      Msg held = std::move(ch.reorder.begin()->second);
-      ch.reorder.erase(ch.reorder.begin());
-      apply_msg(held);
-      ch.expected_cseq++;
-    }
+    if (!alive_.at(ch.pe)) return;  // receiver died while in flight
+    // The endpoint runs dedup/reorder and applies in-order messages; a
+    // true return means acknowledge (duplicates too — the first ack may
+    // have been lost), false means a stale incarnation was dropped.
+    const bool ack = ch.ep.receive(
+        m.data, injector_.stats(),
+        [this](const net::DataMsg& d) { apply_data(d.channel, d.kind, d.packet); });
+    if (ack) send_ack(m.data);
     return;
   }
-  apply_msg(m);
+  apply_data(m.data.channel, m.data.kind, m.data.packet);
 }
 
-void EdenSystem::apply_msg(const Msg& m) {
-  ChannelState& ch = channels_.at(m.channel);
+void EdenSystem::apply_data(std::uint64_t channel, MsgKind kind, const Packet& packet) {
+  ChannelState& ch = channels_.at(channel);
   Machine& dm = *pes_.at(ch.pe);
   Capability& cap0 = dm.cap(0);
   if (ch.placeholder == nullptr)
-    throw EvalError("message (kind " + std::to_string(static_cast<int>(m.kind)) +
-                    ") arrived on closed channel " + std::to_string(m.channel));
-  switch (m.kind) {
+    throw EvalError("message (kind " + std::string(net::msg_kind_name(kind)) +
+                    ") arrived on closed channel " + std::to_string(channel));
+  switch (kind) {
     case MsgKind::Value: {
-      Obj* v = unpack_graph(dm, 0, m.packet);
+      Obj* v = unpack_graph(dm, 0, packet);
       dm.fill_placeholder(cap0, ch.placeholder, v);
       ch.placeholder = nullptr;
       break;
     }
     case MsgKind::StreamElem: {
       // The list placeholder becomes Cons(elem, fresh placeholder).
-      std::vector<Obj*> protect{unpack_graph(dm, 0, m.packet)};
+      std::vector<Obj*> protect{unpack_graph(dm, 0, packet)};
       RootGuard guard(dm, protect);
-      Obj* ph2 = dm.new_placeholder(0, m.channel);
+      Obj* ph2 = dm.new_placeholder(0, channel);
       protect.push_back(ph2);
       Obj* cell = dm.alloc_with_gc(0, ObjKind::Con, 1, 2);
       cell->ptr_payload()[0] = protect[0];
@@ -271,7 +365,7 @@ void EdenSystem::apply_msg(const Msg& m) {
       ch.placeholder = nullptr;
       break;
     case MsgKind::Ack:
-      throw EvalError("ack reached apply_msg");  // handled in deliver()
+      throw EvalError("ack reached apply_data");  // handled in deliver()
   }
 }
 
@@ -333,17 +427,15 @@ void EdenSystem::repoint_and_replay(std::uint64_t channel, std::uint32_t survivo
   // old placeholder (in the dead PE's heap) must not be treated as a root.
   ch.placeholder = nullptr;
   ch.placeholder = pes_.at(survivor)->new_placeholder(0, channel);
-  ch.expected_cseq = 0;
-  ch.reorder.clear();
-  ch.epoch++;
+  ch.ep.repoint();  // fresh incarnation: expected cseq 0, old epoch dead
   ch.last_deliver_at = 0;
   const FaultPlan& plan = injector_.plan();
-  for (SentRecord& r : ch.log) {
+  for (net::SentRecord& r : ch.ep.log()) {
     // Records from a dead producer are dropped: the producer's own restart
     // resends them from a reset sender (same cseq, same pure values).
     if (!alive_.at(r.src_pe)) continue;
     r.acked = false;
-    r.epoch = ch.epoch;
+    r.epoch = ch.ep.epoch();
     const std::uint32_t attempt = r.attempts++;
     transmit(channel, r.kind, r.packet, r.cseq, r.epoch, r.src_pe, attempt, now);
     r.cur_timeout = plan.retry_timeout;
@@ -382,9 +474,7 @@ void EdenSystem::recover_pe(std::uint32_t pe, std::uint64_t now) {
     //    process recomputes and resends from cseq 0; the consumer's
     //    dedup absorbs the prefix it already applied (purity!).
     auto reset_out = [&](std::uint64_t chid) {
-      ChannelState& oc = channels_.at(chid);
-      oc.next_cseq = 0;
-      oc.log.clear();
+      channels_.at(chid).ep.reset_sender();
     };
     if (rec.is_tuple)
       for (const TupleOut& to : tuple_specs_.at(rec.tuple_spec)) reset_out(to.first.id);
@@ -587,6 +677,9 @@ EdenSimDriver::EdenSimDriver(EdenSystem& sys, TraceLog* trace)
     : sys_(sys), cost_(sys.cost()), trace_(trace),
       core_time_(sys.n_cores(), 0), core_rr_(sys.n_cores(), 0), pes_(sys.n_pes()),
       last_beat_(sys.n_pes(), 0), recovered_(sys.n_pes(), false) {
+  if (sys.realtime())
+    throw ProgramError("this Eden system is configured for a real transport; "
+                       "drive it with EdenThreadedDriver");
   sys_.set_trace(trace);
   next_hb_check_ = sys_.injector_.plan().heartbeat_interval;
 }

@@ -34,20 +34,26 @@
 // (channel, sequence-number) always denotes the same value.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "eden/pack.hpp"
+#include "net/channel.hpp"
 #include "rts/config.hpp"
 #include "rts/fault.hpp"
 #include "rts/machine.hpp"
 #include "trace/trace.hpp"
 
 namespace ph {
+
+namespace net {
+class Transport;
+}
 
 struct EdenConfig {
   std::uint32_t n_pes = 2;
@@ -58,6 +64,11 @@ struct EdenConfig {
   /// crash supervisor are switched on (plain mode is byte-for-byte the
   /// baseline middleware, so fault-free figures are unaffected).
   FaultPlan fault;
+  /// Which middleware carries messages: Sim is the virtual-time model
+  /// driven by EdenSimDriver; Shm/Tcp are real transports (src/net)
+  /// driven by EdenThreadedDriver against wall-clock time. pe_rts's
+  /// --eden-rt / --eden-transport flags override Sim here.
+  EdenTransportKind transport = EdenTransportKind::Sim;
 };
 
 class EdenSystem {
@@ -125,49 +136,50 @@ class EdenSystem {
   /// Trace log for fault/recovery annotations (rows are PE ids).
   void set_trace(TraceLog* t) { trace_ = t; }
 
+  // --- real-time mode (EdenThreadedDriver over a src/net Transport) ------------
+  /// True when the config selects a real transport: sends route through
+  /// `transport()` and the sim-only machinery (virtual clocks, crash
+  /// supervision, the stateful alloc-fault hook) is disabled. The channel
+  /// table must be frozen (all new_channel calls done) before the driver
+  /// runs: PE threads index it concurrently.
+  bool realtime() const { return realtime_; }
+  net::Transport* transport() const { return transport_; }
+
  private:
   friend class EdenSimDriver;
+  friend class EdenThreadedDriver;
 
-  enum class MsgKind : std::uint8_t { Value, StreamElem, StreamClose, Ack };
+  using MsgKind = net::MsgKind;
+
+  /// A simulated in-flight message: the wire-level DataMsg plus the
+  /// virtual-time envelope the priority-queue inboxes order by.
   struct Msg {
     std::uint64_t deliver_at = 0;
     std::uint64_t seq = 0;  // FIFO tie-break (per-channel ordering)
-    std::uint64_t channel = 0;
-    MsgKind kind = MsgKind::Value;
-    Packet packet;
-    // Reliable-channel protocol (fault mode only).
-    std::uint64_t cseq = 0;   // per-channel sequence number
-    std::uint64_t epoch = 0;  // receiver incarnation (bumped on re-point)
-    std::uint32_t src_pe = 0;
+    net::DataMsg data;
     bool operator>(const Msg& o) const {
       return deliver_at != o.deliver_at ? deliver_at > o.deliver_at : seq > o.seq;
     }
-  };
-
-  /// One logical send on a reliable channel: kept until acknowledged (for
-  /// retransmission) and forever after (as the replay log for recovery).
-  struct SentRecord {
-    std::uint64_t cseq = 0;
-    MsgKind kind = MsgKind::Value;
-    Packet packet;
-    std::uint32_t src_pe = 0;
-    std::uint64_t epoch = 0;  // epoch of the last (re)transmission
-    bool acked = false;
-    std::uint32_t attempts = 0;       // transmissions so far (fresh RNG per try)
-    std::uint64_t next_retry_at = 0;
-    std::uint64_t cur_timeout = 0;    // grows by FaultPlan::retry_backoff
   };
 
   struct ChannelState {
     std::uint32_t pe = 0;
     Obj* placeholder = nullptr;  // nullptr once closed/filled
     std::uint64_t last_deliver_at = 0;  // FIFO: later sends never overtake
-    // Reliable-channel protocol state (fault mode only).
-    std::uint64_t next_cseq = 0;      // sender side
-    std::uint64_t expected_cseq = 0;  // receiver side
-    std::uint64_t epoch = 0;
-    std::map<std::uint64_t, Msg> reorder;  // cseq -> held out-of-order msg
-    std::vector<SentRecord> log;           // retransmit + replay buffer
+    /// Reliable-channel protocol state (fault mode only): seq/ack/retry
+    /// on the sender half, dedup/reorder/epoch on the receiver half. The
+    /// same endpoint runs under both drivers.
+    net::ChannelEndpoint ep;
+  };
+
+  /// Per-PE state owned by that PE's worker thread in real-time mode.
+  /// `unacked` is the only cross-thread field (the quiescence supervisor
+  /// reads it); everything else is thread-local by the field-partition
+  /// contract in net/channel.hpp.
+  struct RtPe {
+    std::vector<std::uint64_t> produced;  // channels this PE has sent on
+    std::atomic<std::uint64_t> unacked{0};
+    FaultStats fs;  // merged into the result by the driver
   };
 
   /// How one argument of a recorded process can be rebuilt on another PE:
@@ -193,16 +205,36 @@ class EdenSystem {
   void enqueue(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind, Packet p);
   void deliver(const Msg& m);
   /// Applies a (deduplicated, in-order) data message to its placeholder.
-  void apply_msg(const Msg& m);
+  /// In real-time mode this runs on the consuming PE's thread.
+  void apply_data(std::uint64_t channel, MsgKind kind, const Packet& packet);
   /// One transmission attempt over the (possibly lossy) link.
   void transmit(std::uint64_t channel, MsgKind kind, const Packet& p,
                 std::uint64_t cseq, std::uint64_t epoch, std::uint32_t src_pe,
                 std::uint32_t attempt, std::uint64_t send_time);
-  void send_ack(const Msg& data);
+  void send_ack(const net::DataMsg& data);
   /// Retransmits every overdue unacknowledged record (fault mode).
   void service_retries(std::uint64_t now);
   /// Earliest pending retransmission deadline, if any.
   std::optional<std::uint64_t> next_retry_event() const;
+
+  // Real-time mode (each called on PE `pi`'s worker thread).
+  /// Routes one send through the transport, logging it when reliable.
+  void rt_send(std::uint32_t src_pe, std::uint64_t channel, MsgKind kind, Packet p);
+  /// Drains the transport's deliverable messages for PE `pi` (data →
+  /// endpoint receive → placeholder; acks → settle the sender log).
+  /// Returns true when anything was delivered.
+  bool rt_drain(std::uint32_t pi);
+  /// Retransmits overdue records on every channel PE `pi` produces.
+  void rt_service_retries(std::uint32_t pi);
+  /// Microseconds since the driver epoch — the real-time "now" (1 virtual
+  /// cycle of the fault plan's retry/delay units = 1µs of wall clock).
+  std::uint64_t rt_now() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - rt_epoch_).count());
+  }
+  /// Wires the driver's transport in and stamps the clock epoch. Called
+  /// by EdenThreadedDriver::run before the PE threads launch.
+  void attach_rt(net::Transport* t);
 
   // Crash supervision.
   void kill_pe(std::uint32_t pe, std::uint64_t now);
@@ -249,6 +281,12 @@ class EdenSystem {
   std::vector<bool> alive_;
   std::vector<ProcessRecord> procs_;
   TraceLog* trace_ = nullptr;
+
+  // Real-time mode.
+  bool realtime_ = false;
+  net::Transport* transport_ = nullptr;  // owned by EdenThreadedDriver
+  std::chrono::steady_clock::time_point rt_epoch_;
+  std::vector<std::unique_ptr<RtPe>> rt_;
 };
 
 struct EdenSimResult {

@@ -1,0 +1,39 @@
+#include "net/channel.hpp"
+
+namespace ph::net {
+
+const char* msg_kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::Value: return "value";
+    case MsgKind::StreamElem: return "stream-elem";
+    case MsgKind::StreamClose: return "stream-close";
+    case MsgKind::Ack: return "ack";
+  }
+  return "?";
+}
+
+SentRecord& ChannelEndpoint::log_send(MsgKind kind, std::uint32_t src_pe,
+                                      std::uint64_t now, std::uint64_t retry_timeout) {
+  SentRecord r;
+  r.cseq = next_cseq_++;
+  r.kind = kind;
+  r.src_pe = src_pe;
+  r.epoch = epoch_;
+  r.attempts = 1;
+  r.cur_timeout = retry_timeout;
+  r.next_retry_at = now + retry_timeout;
+  log_.push_back(std::move(r));
+  return log_.back();
+}
+
+std::uint32_t ChannelEndpoint::settle_ack(std::uint64_t cseq, std::uint64_t epoch) {
+  std::uint32_t settled = 0;
+  for (SentRecord& r : log_)
+    if (r.cseq == cseq && r.epoch == epoch && !r.acked) {
+      r.acked = true;
+      settled++;
+    }
+  return settled;
+}
+
+}  // namespace ph::net

@@ -1,0 +1,199 @@
+// ChannelEndpoint: the reliable-channel protocol, factored out of the
+// Eden middleware so the same implementation runs over every transport.
+//
+// One endpoint holds both halves of one logical channel's protocol state:
+//   * sender side  — per-channel sequence numbers, the send log (which
+//     doubles as the retransmission buffer and, in the simulated system,
+//     the crash-replay source), timeout bookkeeping with exponential
+//     backoff;
+//   * receiver side — the expected sequence number, the reorder hold-back
+//     map and the incarnation epoch that invalidates stale in-flight
+//     traffic after a channel is re-pointed.
+//
+// The endpoint is deliberately transport-agnostic: it never sends
+// anything itself. Callers decide what "now" means (virtual cycles under
+// EdenSimDriver, wall-clock nanoseconds under EdenThreadedDriver) and how
+// a retransmission reaches the wire; the endpoint only answers the
+// protocol questions (what sequence number, is this a duplicate, what is
+// overdue) so the logic is tested once and reused by both drivers.
+//
+// Thread-safety contract (the real-time driver relies on this): the
+// sender-side state (log, next_cseq) is only touched by the channel's
+// single producer PE — including ack settlement, because acks are routed
+// back to the producer's inbox — and the receiver-side state only by the
+// consumer PE. The two field sets are disjoint, so no locking is needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "eden/pack.hpp"
+#include "rts/fault.hpp"
+
+namespace ph::net {
+
+/// Message kinds crossing PE boundaries (data plus the protocol ack).
+enum class MsgKind : std::uint8_t { Value, StreamElem, StreamClose, Ack };
+
+const char* msg_kind_name(MsgKind k);
+
+/// One message as every transport carries it: routing identity, the
+/// reliable-protocol fields and the packed graph payload. `attempt`
+/// travels with the message so receiver-side fault injection can key its
+/// deterministic draws exactly like the simulated lossy link does.
+struct DataMsg {
+  std::uint64_t channel = 0;
+  MsgKind kind = MsgKind::Value;
+  Packet packet;
+  std::uint64_t cseq = 0;   // per-channel sequence number
+  std::uint64_t epoch = 0;  // receiver incarnation (bumped on re-point)
+  std::uint32_t src_pe = 0;
+  std::uint32_t attempt = 0;  // transmission attempt (fresh fault draws per try)
+};
+
+/// One logical send on a reliable channel: kept until acknowledged (for
+/// retransmission) and forever after (as the replay log for recovery).
+struct SentRecord {
+  std::uint64_t cseq = 0;
+  MsgKind kind = MsgKind::Value;
+  Packet packet;
+  std::uint32_t src_pe = 0;
+  std::uint64_t epoch = 0;  // epoch of the last (re)transmission
+  bool acked = false;
+  std::uint32_t attempts = 0;     // transmissions so far
+  std::uint64_t next_retry_at = 0;
+  std::uint64_t cur_timeout = 0;  // grows by FaultPlan::retry_backoff
+};
+
+class ChannelEndpoint {
+ public:
+  // --- sender side -----------------------------------------------------------
+  /// Logs one send: assigns the next sequence number under the current
+  /// epoch and arms the first retransmission timer. The caller moves the
+  /// payload into the returned record after its first transmission (the
+  /// sim transmits before copying to avoid a redundant Packet copy). The
+  /// reference is invalidated by the next log_send (it points into the
+  /// growing log) — finish with the record before sending again.
+  SentRecord& log_send(MsgKind kind, std::uint32_t src_pe, std::uint64_t now,
+                       std::uint64_t retry_timeout);
+
+  /// Settles the matching log record(s). The epoch must match — an ack
+  /// raised before a channel re-point must not settle the replayed
+  /// incarnation of the same record. Returns how many records newly
+  /// transitioned to acked (duplicate acks settle nothing).
+  std::uint32_t settle_ack(std::uint64_t cseq, std::uint64_t epoch);
+
+  /// Walks every overdue unacknowledged record: bumps its attempt count,
+  /// applies exponential backoff and hands it to `retransmit(record,
+  /// attempt)` for the actual (lossy) transmission. `skip(record)` lets
+  /// the caller exclude records without consuming an attempt (the sim
+  /// skips records whose source PE is dead). Counts into `fs.retries`.
+  template <typename Skip, typename Retransmit>
+  void service_retries(std::uint64_t now, const FaultPlan& plan, FaultStats& fs,
+                       Skip&& skip, Retransmit&& retransmit) {
+    for (SentRecord& r : log_) {
+      if (r.acked || skip(r)) continue;
+      if (plan.retry_max != 0 && r.attempts >= plan.retry_max) continue;
+      if (now < r.next_retry_at) continue;
+      const std::uint32_t attempt = r.attempts++;
+      fs.retries++;
+      retransmit(r, attempt);
+      r.cur_timeout = static_cast<std::uint64_t>(
+          static_cast<double>(r.cur_timeout) * plan.retry_backoff);
+      if (r.cur_timeout == 0) r.cur_timeout = 1;
+      r.next_retry_at = now + r.cur_timeout;
+    }
+  }
+
+  /// Earliest pending retransmission deadline among records not excluded
+  /// by `skip`, if any.
+  template <typename Skip>
+  std::optional<std::uint64_t> next_retry_at(const FaultPlan& plan, Skip&& skip) const {
+    std::optional<std::uint64_t> ev;
+    for (const SentRecord& r : log_) {
+      if (r.acked || skip(r)) continue;
+      if (plan.retry_max != 0 && r.attempts >= plan.retry_max) continue;
+      if (!ev || r.next_retry_at < *ev) ev = r.next_retry_at;
+    }
+    return ev;
+  }
+
+  /// True while any logged send is still unacknowledged (quiescence /
+  /// deadlock detection must not fire with retransmissions pending).
+  bool has_unacked() const {
+    for (const SentRecord& r : log_)
+      if (!r.acked) return true;
+    return false;
+  }
+
+  /// Resets the sender half: a restarted producer recomputes and resends
+  /// from cseq 0; the consumer's dedup absorbs the prefix it already
+  /// applied (sound because Eden processes are pure).
+  void reset_sender() {
+    next_cseq_ = 0;
+    log_.clear();
+  }
+
+  /// Raw access to the send log for crash-replay (the supervisor rewrites
+  /// epochs and re-arms timers while retransmitting the history).
+  std::vector<SentRecord>& log() { return log_; }
+  const std::vector<SentRecord>& log() const { return log_; }
+
+  // --- receiver side ---------------------------------------------------------
+  /// Feeds one data message through dedup/reorder. Returns true when the
+  /// caller should acknowledge it (duplicates are re-acked too — the
+  /// first ack may have been lost), false when the message belongs to a
+  /// stale incarnation and must be dropped unacknowledged. In-order
+  /// messages — the given one and any held ones the gap-close releases —
+  /// are applied through `apply(const DataMsg&)` in sequence order.
+  template <typename Apply>
+  bool receive(const DataMsg& m, FaultStats& fs, Apply&& apply) {
+    if (m.epoch != epoch_) return false;  // stale incarnation: drop, no ack
+    if (m.cseq < expected_cseq_) {
+      fs.dedup_dropped++;  // already applied
+      return true;
+    }
+    if (m.cseq > expected_cseq_) {
+      reorder_.emplace(m.cseq, m);  // hold until the gap closes
+      return true;
+    }
+    apply(m);
+    expected_cseq_++;
+    while (!reorder_.empty() && reorder_.begin()->first == expected_cseq_) {
+      DataMsg held = std::move(reorder_.begin()->second);
+      reorder_.erase(reorder_.begin());
+      apply(held);
+      expected_cseq_++;
+    }
+    return true;
+  }
+
+  /// Re-points the receiver half at a fresh incarnation: the new consumer
+  /// starts from sequence 0 and all in-flight traffic of the old epoch
+  /// becomes droppable.
+  void repoint() {
+    expected_cseq_ = 0;
+    reorder_.clear();
+    epoch_++;
+  }
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t next_cseq() const { return next_cseq_; }
+  std::uint64_t expected_cseq() const { return expected_cseq_; }
+  std::size_t held() const { return reorder_.size(); }
+
+ private:
+  // Sender side (touched only by the producer PE).
+  std::uint64_t next_cseq_ = 0;
+  std::vector<SentRecord> log_;
+  // Receiver side (touched only by the consumer PE).
+  std::uint64_t expected_cseq_ = 0;
+  std::map<std::uint64_t, DataMsg> reorder_;
+  // Incarnation: read by both sides, written only while the whole system
+  // is stopped (crash recovery happens under the sim's global clock).
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ph::net

@@ -1,0 +1,157 @@
+#include "net/frame.hpp"
+
+#include <array>
+#include <cstring>
+#include <string>
+
+namespace ph::net {
+namespace {
+
+// Standard CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), table-driven.
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* frame_defect_name(FrameDefect d) {
+  switch (d) {
+    case FrameDefect::Truncated: return "truncated";
+    case FrameDefect::BadMagic: return "bad-magic";
+    case FrameDefect::BadVersion: return "bad-version";
+    case FrameDefect::BadKind: return "bad-kind";
+    case FrameDefect::BadCrc: return "bad-crc";
+    case FrameDefect::BadLength: return "bad-length";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_frame(const DataMsg& m) {
+  std::vector<std::uint8_t> out;
+  const std::size_t body_bytes = kFrameBodyFixedBytes + m.packet.words.size() * 8;
+  out.reserve(kFrameHeaderBytes + body_bytes);
+  put_u32(out, static_cast<std::uint32_t>(body_bytes));
+  put_u32(out, 0);  // CRC patched below, once the body exists
+  out.push_back(kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(m.kind));
+  out.push_back(0);
+  put_u32(out, m.attempt);
+  put_u32(out, m.src_pe);
+  put_u32(out, 0);
+  put_u64(out, m.channel);
+  put_u64(out, m.cseq);
+  put_u64(out, m.epoch);
+  put_u64(out, m.packet.words.size());
+  for (Word w : m.packet.words) put_u64(out, w);
+  const std::uint32_t crc = crc32(out.data() + kFrameHeaderBytes, body_bytes);
+  out[4] = static_cast<std::uint8_t>(crc);
+  out[5] = static_cast<std::uint8_t>(crc >> 8);
+  out[6] = static_cast<std::uint8_t>(crc >> 16);
+  out[7] = static_cast<std::uint8_t>(crc >> 24);
+  return out;
+}
+
+DataMsg decode_frame(const std::uint8_t* data, std::size_t n) {
+  if (n < kFrameHeaderBytes)
+    throw FrameError(FrameDefect::Truncated,
+                     "frame shorter than its header (" + std::to_string(n) + " bytes)");
+  const std::uint32_t body_len = get_u32(data);
+  if (body_len > kFrameMaxBody)
+    throw FrameError(FrameDefect::BadLength,
+                     "declared body of " + std::to_string(body_len) + " bytes");
+  if (n < kFrameHeaderBytes + body_len || body_len < kFrameBodyFixedBytes)
+    throw FrameError(FrameDefect::Truncated,
+                     "body truncated: declared " + std::to_string(body_len) +
+                         " bytes, have " + std::to_string(n - kFrameHeaderBytes));
+  const std::uint8_t* body = data + kFrameHeaderBytes;
+  const std::uint32_t want_crc = get_u32(data + 4);
+  const std::uint32_t got_crc = crc32(body, body_len);
+  if (want_crc != got_crc)
+    throw FrameError(FrameDefect::BadCrc, "crc mismatch: frame says " +
+                                              std::to_string(want_crc) + ", body is " +
+                                              std::to_string(got_crc));
+  if (body[0] != kFrameMagic)
+    throw FrameError(FrameDefect::BadMagic, "bad magic byte");
+  if (body[1] != kFrameVersion)
+    throw FrameError(FrameDefect::BadVersion,
+                     "frame version " + std::to_string(body[1]));
+  if (body[2] > static_cast<std::uint8_t>(MsgKind::Ack))
+    throw FrameError(FrameDefect::BadKind,
+                     "unknown message kind " + std::to_string(body[2]));
+  DataMsg m;
+  m.kind = static_cast<MsgKind>(body[2]);
+  m.attempt = get_u32(body + 4);
+  m.src_pe = get_u32(body + 8);
+  m.channel = get_u64(body + 16);
+  m.cseq = get_u64(body + 24);
+  m.epoch = get_u64(body + 32);
+  const std::uint64_t n_words = get_u64(body + 40);
+  if (kFrameBodyFixedBytes + n_words * 8 != body_len)
+    throw FrameError(FrameDefect::Truncated,
+                     "payload count " + std::to_string(n_words) +
+                         " disagrees with body length " + std::to_string(body_len));
+  m.packet.words.resize(n_words);
+  for (std::uint64_t i = 0; i < n_words; ++i)
+    m.packet.words[i] = get_u64(body + kFrameBodyFixedBytes + i * 8);
+  return m;
+}
+
+bool FrameReader::next(DataMsg& out) {
+  // Compact once the consumed prefix dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return false;
+  const std::uint32_t body_len = get_u32(buf_.data() + pos_);
+  if (body_len > kFrameMaxBody) {
+    // The stream is unframeable from here on: discard everything so the
+    // caller sees one structured error rather than a parse loop.
+    pos_ = buf_.size();
+    throw FrameError(FrameDefect::BadLength,
+                     "stream desync: declared body of " + std::to_string(body_len) +
+                         " bytes");
+  }
+  if (avail < kFrameHeaderBytes + body_len) return false;
+  const std::uint8_t* frame = buf_.data() + pos_;
+  pos_ += kFrameHeaderBytes + body_len;  // consumed even when corrupt
+  out = decode_frame(frame, kFrameHeaderBytes + body_len);
+  return true;
+}
+
+}  // namespace ph::net

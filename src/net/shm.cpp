@@ -1,0 +1,94 @@
+#include "net/shm.hpp"
+
+#include <thread>
+
+namespace ph::net {
+
+namespace {
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+MailboxRing::MailboxRing(std::size_t capacity_pow2) {
+  const std::size_t cap = round_pow2(capacity_pow2 < 2 ? 2 : capacity_pow2);
+  mask_ = cap - 1;
+  cells_ = std::make_unique<Cell[]>(cap);
+  for (std::size_t i = 0; i < cap; ++i)
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool MailboxRing::try_push(DataMsg&& m) {
+  std::size_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                              static_cast<std::intptr_t>(pos);
+    if (dif == 0) {
+      // Our turn if we can claim the ticket.
+      if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+        break;
+      // CAS failure reloaded `pos`; retry with the new ticket.
+    } else if (dif < 0) {
+      return false;  // cell still holds an unconsumed message: ring full
+    } else {
+      pos = head_.load(std::memory_order_relaxed);  // someone overtook us
+    }
+  }
+  Cell& cell = cells_[pos & mask_];
+  cell.msg = std::move(m);
+  cell.seq.store(pos + 1, std::memory_order_release);  // publish
+  return true;
+}
+
+bool MailboxRing::try_pop(DataMsg& out) {
+  const std::size_t pos = tail_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[pos & mask_];
+  const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+  if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) < 0)
+    return false;  // not yet published
+  out = std::move(cell.msg);
+  cell.msg = DataMsg{};  // release the payload's storage promptly
+  cell.seq.store(pos + mask_ + 1, std::memory_order_release);  // hand back
+  tail_.store(pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+ShmTransport::ShmTransport(std::uint32_t n_pes, const FaultInjector* injector,
+                           std::size_t capacity)
+    : Transport(n_pes, injector) {
+  mailboxes_.reserve(n_pes);
+  for (std::uint32_t i = 0; i < n_pes; ++i)
+    mailboxes_.push_back(std::make_unique<MailboxRing>(capacity));
+}
+
+void ShmTransport::send_raw(std::uint32_t dst, const DataMsg& m) {
+  MailboxRing& box = *mailboxes_.at(dst);
+  DataMsg copy = m;
+  std::uint32_t spins = 0;
+  while (!box.try_push(std::move(copy))) {
+    // Backpressure: the mailbox is full, wait for the consumer. A stopped
+    // transport drops the message instead of spinning forever (the run is
+    // over; nobody will drain the ring again).
+    if (stopping_.load(std::memory_order_acquire)) {
+      note_lost();
+      return;
+    }
+    if (++spins < 64) std::this_thread::yield();
+    else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      spins = 0;
+    }
+  }
+}
+
+std::optional<DataMsg> ShmTransport::poll_raw(std::uint32_t pe) {
+  DataMsg m;
+  if (mailboxes_.at(pe)->try_pop(m)) return m;
+  return std::nullopt;
+}
+
+}  // namespace ph::net

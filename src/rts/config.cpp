@@ -2,6 +2,15 @@
 
 namespace ph {
 
+const char* eden_transport_name(EdenTransportKind k) {
+  switch (k) {
+    case EdenTransportKind::Sim: return "sim";
+    case EdenTransportKind::Shm: return "shm";
+    case EdenTransportKind::Tcp: return "tcp";
+  }
+  return "?";
+}
+
 RtsConfig config_plain(std::uint32_t n_caps) {
   RtsConfig c;
   c.n_caps = n_caps;

@@ -50,6 +50,14 @@ enum class SparkRunPolicy : std::uint8_t {
   SparkThread
 };
 
+/// Which message-passing layer carries an Eden system's traffic
+/// (--eden-transport). Sim is the virtual-time middleware inside
+/// EdenSystem; Shm and Tcp are real transports in src/net driven by
+/// EdenThreadedDriver against wall-clock time.
+enum class EdenTransportKind : std::uint8_t { Sim, Shm, Tcp };
+
+const char* eden_transport_name(EdenTransportKind k);
+
 struct RtsConfig {
   std::uint32_t n_caps = 1;
 
@@ -81,6 +89,11 @@ struct RtsConfig {
   /// baseline behaviour. Machine copies the resolved value into
   /// HeapConfig::gc_threads before building the heap.
   std::uint32_t gc_threads = 0;
+  /// Eden middleware selection (--eden-transport=sim|shm|tcp) and driver
+  /// (--eden-rt: run PEs on OS threads against wall-clock time instead of
+  /// the virtual-time simulation). Read by the Eden layer, not by Machine.
+  EdenTransportKind eden_transport = EdenTransportKind::Sim;
+  bool eden_rt = false;
 
   std::string name = "custom";
 };

@@ -48,6 +48,11 @@ bool FaultInjector::drop_ack(std::uint64_t channel, std::uint64_t cseq) {
   return chance(plan_.drop, kAckDrop, channel, cseq, ++acks_seen_);
 }
 
+bool FaultInjector::drop_ack(std::uint64_t channel, std::uint64_t cseq,
+                             std::uint32_t attempt) const {
+  return chance(plan_.drop, kAckDrop, channel, cseq, attempt);
+}
+
 bool FaultInjector::duplicate_message(std::uint64_t channel, std::uint64_t cseq,
                                       std::uint32_t attempt) const {
   return chance(plan_.duplicate, kDup, channel, cseq, attempt);

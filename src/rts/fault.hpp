@@ -98,6 +98,12 @@ class FaultInjector {
   /// Lossy-link decisions for one transmission attempt of one message.
   bool drop_message(std::uint64_t channel, std::uint64_t cseq, std::uint32_t attempt) const;
   bool drop_ack(std::uint64_t channel, std::uint64_t cseq);
+  /// Pure ack-drop draw keyed on the triggering data transmission's
+  /// attempt instead of the injector-wide ack counter. Used by the
+  /// real-time transports, where many PE threads consult the injector
+  /// concurrently and a shared counter would be a race (and would make
+  /// draws depend on wall-clock arrival order).
+  bool drop_ack(std::uint64_t channel, std::uint64_t cseq, std::uint32_t attempt) const;
   bool duplicate_message(std::uint64_t channel, std::uint64_t cseq,
                          std::uint32_t attempt) const;
   bool delay_message(std::uint64_t channel, std::uint64_t cseq,

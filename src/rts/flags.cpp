@@ -53,6 +53,20 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
           parse_num(f.substr(std::string("--gc-threads=").size()), f));
       continue;
     }
+    if (f.rfind("--eden-transport=", 0) == 0) {
+      const std::string name = f.substr(std::string("--eden-transport=").size());
+      if (name == "sim") cfg.eden_transport = EdenTransportKind::Sim;
+      else if (name == "shm") cfg.eden_transport = EdenTransportKind::Shm;
+      else if (name == "tcp") cfg.eden_transport = EdenTransportKind::Tcp;
+      else
+        throw FlagError("unknown Eden transport '" + name +
+                        "' in " + f + " (expected sim, shm or tcp)");
+      continue;
+    }
+    if (f == "--eden-rt") {
+      cfg.eden_rt = true;
+      continue;
+    }
     const std::string rest = f.substr(2);
     switch (f[1]) {
       case 'N': {
@@ -127,6 +141,9 @@ std::string show_rts_flags(const RtsConfig& cfg) {
   out << (cfg.sparkrun == SparkRunPolicy::ThreadPerSpark ? " -qt" : " -qT");
   if (cfg.sanity) out << " -DS";
   if (cfg.gc_threads != 0) out << " --gc-threads=" << cfg.gc_threads;
+  if (cfg.eden_transport != EdenTransportKind::Sim)
+    out << " --eden-transport=" << eden_transport_name(cfg.eden_transport);
+  if (cfg.eden_rt) out << " --eden-rt";
   return out.str();
 }
 

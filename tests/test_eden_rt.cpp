@@ -1,0 +1,264 @@
+// Real-time Eden: EdenThreadedDriver runs each PE's Machine on an OS
+// thread over a real transport (shm mailboxes or framed TCP). These tests
+// pin the driver to the virtual-time semantics: for parMap sumEuler, ring
+// APSP and Cannon matmul the wall-clock runs must produce values equal to
+// EdenSimDriver's, on both transports, including under a lossy fault plan
+// where the reliable-channel protocol does real retransmission.
+#include <gtest/gtest.h>
+
+#include "eden/eden_rt.hpp"
+#include "progs/apsp.hpp"
+#include "progs/matmul.hpp"
+#include "progs/sumeuler.hpp"
+#include "rig.hpp"
+#include "rts/flags.hpp"
+#include "skel/skeletons.hpp"
+
+namespace ph::test {
+namespace {
+
+struct RtRig {
+  Program prog;
+  std::unique_ptr<EdenSystem> sys;
+
+  RtRig(std::uint32_t n_pes, EdenTransportKind transport,
+        FaultPlan fault = FaultPlan{}, std::size_t nursery_words = 512 * 1024) {
+    Builder b(prog);
+    build_prelude(b);
+    build_sumeuler(b);
+    build_matmul(b);
+    build_apsp(b);
+    prog.validate();
+    EdenConfig cfg;
+    cfg.n_pes = n_pes;
+    cfg.n_cores = n_pes;
+    cfg.pe_rts = config_worksteal_eagerbh(1);
+    cfg.pe_rts.heap.nursery_words = nursery_words;
+    cfg.transport = transport;
+    cfg.fault = fault;
+    sys = std::make_unique<EdenSystem>(prog, cfg);
+  }
+
+  EdenRtResult run_root(const std::string& g, const std::vector<Obj*>& args,
+                        TraceLog* trace = nullptr) {
+    Tso* root = skel::root_apply(*sys, prog.find(g), args);
+    EdenThreadedDriver d(*sys, trace);
+    return d.run(root);
+  }
+};
+
+// Builds the same topology in a sim rig and an RT rig and returns both
+// final integers; every test asserts they are equal (and correct).
+struct SumEulerTopology {
+  static std::vector<Obj*> tasks(EdenSystem& sys) {
+    Machine& pe0 = sys.pe(0);
+    std::vector<Obj*> chunks;
+    for (std::int64_t lo = 1; lo <= 60; lo += 10) {
+      std::vector<std::int64_t> chunk;
+      for (std::int64_t k = lo; k < lo + 10; ++k) chunk.push_back(k);
+      chunks.push_back(make_int_list(pe0, 0, chunk));
+    }
+    return chunks;
+  }
+};
+
+std::int64_t sim_par_map_reduce_sumeuler(std::uint32_t n_pes, bool stream) {
+  RtRig r(n_pes, EdenTransportKind::Sim);
+  // stream=true ships the input chunks element by element (the outputs,
+  // plain Ints, always travel as single values).
+  Obj* partials = stream
+      ? skel::par_map(*r.sys, r.prog.find("sumPhi"),
+                      SumEulerTopology::tasks(*r.sys), /*stream_inputs=*/true)
+      : skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                             SumEulerTopology::tasks(*r.sys));
+  Tso* root = skel::root_apply(*r.sys, r.prog.find("sum"), {partials});
+  EdenSimDriver d(*r.sys);
+  EdenSimResult res = d.run(root);
+  EXPECT_FALSE(res.deadlocked);
+  return read_int(res.value);
+}
+
+class EdenRt : public ::testing::TestWithParam<EdenTransportKind> {};
+
+TEST_P(EdenRt, ParMapSumEulerMatchesSimDriver) {
+  const std::int64_t sim = sim_par_map_reduce_sumeuler(4, false);
+  RtRig r(4, GetParam());
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       SumEulerTopology::tasks(*r.sys));
+  EdenRtResult res = r.run_root("sum", {partials});
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), sim);
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(60));
+  EXPECT_GT(res.messages, 0u);
+  EXPECT_EQ(res.crc_errors, 0u);
+  EXPECT_GT(res.seconds, 0.0);
+}
+
+TEST_P(EdenRt, StreamedParMapMatchesSimDriver) {
+  // Trans list semantics over the real wire: the input chunks travel
+  // element by element (StreamElem/StreamClose frames).
+  const std::int64_t sim = sim_par_map_reduce_sumeuler(4, true);
+  RtRig r(4, GetParam());
+  Obj* results = skel::par_map(*r.sys, r.prog.find("sumPhi"),
+                               SumEulerTopology::tasks(*r.sys),
+                               /*stream_inputs=*/true);
+  EdenRtResult res = r.run_root("sum", {results});
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), sim);
+}
+
+TEST_P(EdenRt, RingApspMatchesSimDriver) {
+  const std::size_t n = 12;
+  const std::uint32_t p = 4;
+  const std::size_t nb = n / p;
+  DistMat dm = random_graph(n, 77);
+  auto bundles = [&](EdenSystem& sys) {
+    Machine& pe0 = sys.pe(0);
+    std::vector<Obj*> out;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      DistMat bundle(dm.begin() + static_cast<std::ptrdiff_t>(i * nb),
+                     dm.begin() + static_cast<std::ptrdiff_t>((i + 1) * nb));
+      out.push_back(make_int_matrix(pe0, 0, bundle));
+    }
+    return out;
+  };
+  const std::vector<std::int64_t> extra{static_cast<std::int64_t>(p),
+                                        static_cast<std::int64_t>(nb)};
+
+  std::int64_t sim;
+  {
+    RtRig r(p + 1, EdenTransportKind::Sim);
+    Obj* outs = skel::ring(*r.sys, r.prog.find("apspRingNode"), bundles(*r.sys), extra);
+    Tso* root = skel::root_apply(*r.sys, r.prog.find("apspCollect"), {outs});
+    EdenSimDriver d(*r.sys);
+    EdenSimResult res = d.run(root);
+    ASSERT_FALSE(res.deadlocked);
+    sim = read_int(res.value);
+  }
+  RtRig r(p + 1, GetParam());
+  Obj* outs = skel::ring(*r.sys, r.prog.find("apspRingNode"), bundles(*r.sys), extra);
+  EdenRtResult res = r.run_root("apspCollect", {outs});
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), sim);
+  EXPECT_EQ(read_int(res.value), apsp_checksum(floyd_warshall(dm)));
+}
+
+TEST_P(EdenRt, TorusCannonMatchesSimDriver) {
+  const std::uint32_t q = 2;
+  Mat a = random_matrix(8, 21), bm = random_matrix(8, 22);
+
+  std::int64_t sim;
+  {
+    RtRig r(q * q + 1, EdenTransportKind::Sim);
+    std::vector<Obj*> inputs = make_cannon_inputs(r.sys->pe(0), a, bm, q);
+    Obj* blocks = skel::torus(*r.sys, r.prog.find("cannonNode"), q, inputs, {q});
+    Tso* root = skel::root_apply(*r.sys, r.prog.find("sumBlocks"), {blocks});
+    EdenSimDriver d(*r.sys);
+    EdenSimResult res = d.run(root);
+    ASSERT_FALSE(res.deadlocked);
+    sim = read_int(res.value);
+  }
+  RtRig r(q * q + 1, GetParam());
+  std::vector<Obj*> inputs = make_cannon_inputs(r.sys->pe(0), a, bm, q);
+  Obj* blocks = skel::torus(*r.sys, r.prog.find("cannonNode"), q, inputs, {q});
+  EdenRtResult res = r.run_root("sumBlocks", {blocks});
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), sim);
+  EXPECT_EQ(read_int(res.value), mat_checksum(matmul_reference(a, bm)));
+}
+
+TEST_P(EdenRt, LossyFaultPlanConverges) {
+  // The reliable-channel protocol over a genuinely lossy real wire: the
+  // delivery-side filter drops, duplicates and delays frames; retransmit,
+  // ack and dedup must still produce the exact value.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop = 0.2;
+  plan.duplicate = 0.2;
+  plan.delay = 0.2;
+  plan.delay_extra = 500;    // µs of wall clock
+  plan.retry_timeout = 2000;  // first retransmit after 2ms
+  RtRig r(4, GetParam(), plan);
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       SumEulerTopology::tasks(*r.sys));
+  EdenRtResult res = r.run_root("sum", {partials});
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(60));
+  // The plan really bit: the injector interfered and the protocol worked.
+  EXPECT_GT(res.faults.dropped + res.faults.duplicated + res.faults.delayed, 0u);
+  EXPECT_GT(res.faults.acks, 0u);
+}
+
+TEST_P(EdenRt, WallClockTraceRecordsPerPeActivity) {
+  RtRig r(3, GetParam());
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       SumEulerTopology::tasks(*r.sys));
+  TraceLog trace(3);
+  EdenRtResult res = r.run_root("sum", {partials}, &trace);
+  ASSERT_FALSE(res.deadlocked);
+  EXPECT_GT(trace.end_time(), 0u);  // microseconds since the driver epoch
+  // PE 0 (parent + combiner) must show real Run time on the timeline.
+  EXPECT_GT(trace.fraction(0, CapState::Run), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, EdenRt,
+                         ::testing::Values(EdenTransportKind::Shm,
+                                           EdenTransportKind::Tcp),
+                         [](const ::testing::TestParamInfo<EdenTransportKind>& i) {
+                           return eden_transport_name(i.param);
+                         });
+
+TEST(EdenRtGuards, MissingProducerIsDiagnosedAsDeadlock) {
+  RtRig r(2, EdenTransportKind::Shm);
+  auto out = r.sys->new_channel(0);  // nobody will ever send here
+  Tso* root = r.sys->pe(0).spawn_enter(r.sys->placeholder_of(out), 0);
+  EdenThreadedDriver d(*r.sys);
+  EdenRtResult res = d.run(root);
+  EXPECT_TRUE(res.deadlocked);
+  EXPECT_NE(res.diagnosis.kind, DeadlockKind::None);
+}
+
+TEST(EdenRtGuards, DriversRejectMismatchedSystems) {
+  // A sim-configured system cannot be driven in real time, and vice versa.
+  RtRig sim_rig(2, EdenTransportKind::Sim);
+  EXPECT_THROW(EdenThreadedDriver d(*sim_rig.sys), ProgramError);
+
+  RtRig rt_rig(2, EdenTransportKind::Shm);
+  EXPECT_THROW(EdenSimDriver d(*rt_rig.sys), ProgramError);
+}
+
+TEST(EdenRtGuards, SimOnlyFaultPlansAreRefused) {
+  FaultPlan crash;
+  crash.crash_pe = 1;
+  crash.crash_at = 1000;
+  EXPECT_THROW(RtRig(2, EdenTransportKind::Shm, crash), ProgramError);
+
+  FaultPlan alloc;
+  alloc.alloc_fail_at = 100;
+  EXPECT_THROW(RtRig(2, EdenTransportKind::Tcp, alloc), ProgramError);
+}
+
+TEST(EdenRtGuards, RtsFlagsSelectTheTransport) {
+  // --eden-rt / --eden-transport reach EdenSystem through the per-PE RTS
+  // config; --eden-rt alone defaults to shm.
+  Program prog;
+  Builder b(prog);
+  build_prelude(b);
+  prog.validate();
+  EdenConfig cfg;
+  cfg.n_pes = 2;
+  cfg.pe_rts = parse_rts_flags("--eden-rt", config_worksteal_eagerbh(1));
+  EdenSystem sys(prog, cfg);
+  EXPECT_TRUE(sys.realtime());
+  EXPECT_EQ(sys.config().transport, EdenTransportKind::Shm);
+
+  EdenConfig cfg2;
+  cfg2.n_pes = 2;
+  cfg2.pe_rts = parse_rts_flags("--eden-transport=tcp", config_worksteal_eagerbh(1));
+  EdenSystem sys2(prog, cfg2);
+  EXPECT_TRUE(sys2.realtime());
+  EXPECT_EQ(sys2.config().transport, EdenTransportKind::Tcp);
+}
+
+}  // namespace
+}  // namespace ph::test

@@ -94,6 +94,43 @@ TEST(Flags, GcThreadsFlag) {
             std::string::npos);
 }
 
+TEST(Flags, EdenTransportFlag) {
+  EXPECT_EQ(parse_rts_flags("").eden_transport, EdenTransportKind::Sim);
+  EXPECT_EQ(parse_rts_flags("--eden-transport=sim").eden_transport,
+            EdenTransportKind::Sim);
+  EXPECT_EQ(parse_rts_flags("--eden-transport=shm").eden_transport,
+            EdenTransportKind::Shm);
+  EXPECT_EQ(parse_rts_flags("-N4 --eden-transport=tcp -qs").eden_transport,
+            EdenTransportKind::Tcp);
+  // Unknown transport names are a structured error, not a silent default.
+  EXPECT_THROW(parse_rts_flags("--eden-transport=pvm"), FlagError);
+  EXPECT_THROW(parse_rts_flags("--eden-transport="), FlagError);
+  EXPECT_THROW(parse_rts_flags("--eden-transport=SHM"), FlagError);
+  // Round-trips through show; the Sim default stays implicit.
+  RtsConfig c = parse_rts_flags("-N2 --eden-transport=tcp");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find("--eden-transport=tcp"), std::string::npos) << shown;
+  EXPECT_EQ(parse_rts_flags(shown).eden_transport, EdenTransportKind::Tcp);
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2")).find("--eden-transport"),
+            std::string::npos);
+}
+
+TEST(Flags, EdenRtFlag) {
+  EXPECT_FALSE(parse_rts_flags("").eden_rt);
+  EXPECT_TRUE(parse_rts_flags("--eden-rt").eden_rt);
+  EXPECT_TRUE(parse_rts_flags("-N2 --eden-rt -qs").eden_rt);
+  // No argument form exists.
+  EXPECT_THROW(parse_rts_flags("--eden-rt=1"), FlagError);
+  RtsConfig c = parse_rts_flags("--eden-rt --eden-transport=shm");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find("--eden-rt"), std::string::npos) << shown;
+  RtsConfig c2 = parse_rts_flags(shown);
+  EXPECT_TRUE(c2.eden_rt);
+  EXPECT_EQ(c2.eden_transport, EdenTransportKind::Shm);
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2")).find("--eden-rt"),
+            std::string::npos);
+}
+
 TEST(SchedFlags, ParseAndDefaults) {
   SchedPlan d;
   EXPECT_FALSE(d.enabled());

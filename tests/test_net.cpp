@@ -1,0 +1,342 @@
+// The src/net subsystem: wire framing (CRC, truncation, stream reassembly),
+// the transport-agnostic reliable-channel endpoint, and the two real
+// transports (shm mailboxes, framed TCP) under concurrent producers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/frame.hpp"
+#include "net/shm.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+
+namespace ph::net {
+namespace {
+
+DataMsg sample_msg(std::uint64_t channel, std::uint64_t cseq,
+                   std::vector<std::uint64_t> payload) {
+  DataMsg m;
+  m.channel = channel;
+  m.kind = MsgKind::Value;
+  m.packet.words = std::move(payload);
+  m.cseq = cseq;
+  m.epoch = 0;
+  m.src_pe = 0;
+  m.attempt = 0;
+  return m;
+}
+
+/// Recomputes the stored CRC after the body has been edited, so a test can
+/// exercise the post-CRC validation layers (magic / version / kind).
+void patch_crc(std::vector<std::uint8_t>& frame) {
+  const std::uint32_t c = crc32(frame.data() + kFrameHeaderBytes,
+                                frame.size() - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i)
+    frame[4 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(c >> (8 * i));
+}
+
+/// Waits (bounded) for the next message on `pe`; fails the test on timeout.
+std::optional<DataMsg> poll_wait(Transport& t, std::uint32_t pe,
+                                 int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (std::optional<DataMsg> m = t.poll(pe)) return m;
+    std::this_thread::yield();
+  }
+  return std::nullopt;
+}
+
+// --- framing ---------------------------------------------------------------
+
+TEST(Frame, Crc32KnownAnswer) {
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check, sizeof check), 0xCBF43926u);
+  EXPECT_EQ(crc32(check, 0), 0u);
+}
+
+TEST(Frame, EmptyPayloadRoundTrips) {
+  DataMsg m = sample_msg(7, 42, {});
+  m.kind = MsgKind::StreamClose;
+  const std::vector<std::uint8_t> f = encode_frame(m);
+  EXPECT_EQ(f.size(), kFrameHeaderBytes + kFrameBodyFixedBytes);
+  const DataMsg out = decode_frame(f);
+  EXPECT_EQ(out.channel, 7u);
+  EXPECT_EQ(out.kind, MsgKind::StreamClose);
+  EXPECT_EQ(out.cseq, 42u);
+  EXPECT_TRUE(out.packet.words.empty());
+}
+
+TEST(Frame, PostCrcDefectsAreStructured) {
+  const std::vector<std::uint8_t> good = encode_frame(sample_msg(1, 2, {3, 4}));
+  auto expect_defect = [&](std::size_t body_byte, std::uint8_t value,
+                           FrameDefect want) {
+    std::vector<std::uint8_t> bad = good;
+    bad[kFrameHeaderBytes + body_byte] = value;
+    patch_crc(bad);  // CRC is now consistent: the semantic check must fire
+    try {
+      decode_frame(bad);
+      FAIL() << "decoded a frame with defect " << frame_defect_name(want);
+    } catch (const FrameError& e) {
+      EXPECT_EQ(e.defect, want) << frame_defect_name(e.defect);
+    }
+  };
+  expect_defect(0, 0x00, FrameDefect::BadMagic);
+  expect_defect(1, 99, FrameDefect::BadVersion);
+  expect_defect(2, 200, FrameDefect::BadKind);
+}
+
+TEST(Frame, OversizeLengthIsRejected) {
+  std::vector<std::uint8_t> bad(kFrameHeaderBytes, 0);
+  bad[3] = 0xFF;  // body_len = 0xFF000000 > kFrameMaxBody
+  try {
+    decode_frame(bad);
+    FAIL() << "accepted an oversize length prefix";
+  } catch (const FrameError& e) {
+    EXPECT_EQ(e.defect, FrameDefect::BadLength);
+  }
+}
+
+TEST(FrameReader, ReassemblesByteDribble) {
+  // Two frames delivered one byte at a time must come out whole and in
+  // order — the TCP receive path's worst case.
+  const std::vector<std::uint8_t> f1 = encode_frame(sample_msg(1, 0, {10, 20}));
+  const std::vector<std::uint8_t> f2 = encode_frame(sample_msg(2, 1, {30}));
+  std::vector<std::uint8_t> wire = f1;
+  wire.insert(wire.end(), f2.begin(), f2.end());
+
+  FrameReader rd;
+  std::vector<DataMsg> got;
+  DataMsg m;
+  for (std::uint8_t b : wire) {
+    rd.feed(&b, 1);
+    while (rd.next(m)) got.push_back(m);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].channel, 1u);
+  EXPECT_EQ(got[0].packet.words, (std::vector<std::uint64_t>{10, 20}));
+  EXPECT_EQ(got[1].channel, 2u);
+  EXPECT_EQ(got[1].packet.words, (std::vector<std::uint64_t>{30}));
+  EXPECT_EQ(rd.buffered(), 0u);
+}
+
+TEST(FrameReader, CorruptFrameDoesNotWedgeTheStream) {
+  std::vector<std::uint8_t> bad = encode_frame(sample_msg(1, 0, {1, 2, 3}));
+  bad[kFrameHeaderBytes + 16] ^= 0x40;  // flip a payload bit, CRC now stale
+  const std::vector<std::uint8_t> good = encode_frame(sample_msg(2, 1, {4}));
+
+  FrameReader rd;
+  rd.feed(bad.data(), bad.size());
+  rd.feed(good.data(), good.size());
+  DataMsg m;
+  EXPECT_THROW(rd.next(m), FrameError);  // the corrupt frame, consumed
+  ASSERT_TRUE(rd.next(m));               // the stream continues cleanly
+  EXPECT_EQ(m.channel, 2u);
+  EXPECT_FALSE(rd.next(m));
+}
+
+// --- ChannelEndpoint (the reliable-channel protocol) -----------------------
+
+TEST(ChannelEndpoint, SequencesAndSettlesSends) {
+  ChannelEndpoint ep;
+  const std::uint64_t timeout = 100;
+  // The returned reference is only valid until the next log_send (it
+  // points into the growing log): read it before sending again.
+  const std::uint64_t cseq0 = ep.log_send(MsgKind::Value, 0, /*now=*/0, timeout).cseq;
+  const std::uint64_t cseq1 = ep.log_send(MsgKind::Value, 0, /*now=*/5, timeout).cseq;
+  EXPECT_EQ(cseq0, 0u);
+  EXPECT_EQ(cseq1, 1u);
+  EXPECT_TRUE(ep.has_unacked());
+  EXPECT_EQ(ep.settle_ack(0, 0), 1u);
+  EXPECT_EQ(ep.settle_ack(0, 0), 0u);  // idempotent
+  EXPECT_EQ(ep.settle_ack(1, 7), 0u);  // wrong epoch: ignored
+  EXPECT_TRUE(ep.has_unacked());
+  EXPECT_EQ(ep.settle_ack(1, 0), 1u);
+  EXPECT_FALSE(ep.has_unacked());
+}
+
+TEST(ChannelEndpoint, ReordersAndDeduplicates) {
+  ChannelEndpoint ep;
+  FaultStats fs;
+  std::vector<std::uint64_t> applied;
+  auto apply = [&](const DataMsg& d) { applied.push_back(d.cseq); };
+
+  EXPECT_TRUE(ep.receive(sample_msg(0, 1, {}), fs, apply));  // early: held
+  EXPECT_TRUE(applied.empty());
+  EXPECT_EQ(ep.held(), 1u);
+  EXPECT_TRUE(ep.receive(sample_msg(0, 0, {}), fs, apply));  // drains both
+  EXPECT_EQ(applied, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_TRUE(ep.receive(sample_msg(0, 0, {}), fs, apply));  // dup: acked, dropped
+  EXPECT_EQ(applied.size(), 2u);
+  EXPECT_EQ(fs.dedup_dropped, 1u);
+
+  DataMsg stale = sample_msg(0, 2, {});
+  stale.epoch = 9;  // wrong epoch: no ack, no apply
+  EXPECT_FALSE(ep.receive(stale, fs, apply));
+  EXPECT_EQ(applied.size(), 2u);
+}
+
+TEST(ChannelEndpoint, RetriesWithBackoff) {
+  ChannelEndpoint ep;
+  FaultPlan plan;
+  plan.retry_timeout = 100;
+  plan.retry_backoff = 2.0;
+  FaultStats fs;
+  ep.log_send(MsgKind::Value, 0, /*now=*/0, plan.retry_timeout);
+  const auto keep_all = [](const SentRecord&) { return false; };
+  std::vector<std::uint32_t> attempts;
+  auto fire = [&](SentRecord&, std::uint32_t attempt) { attempts.push_back(attempt); };
+
+  ep.service_retries(50, plan, fs, keep_all, fire);
+  EXPECT_TRUE(attempts.empty());  // not due yet
+  ep.service_retries(100, plan, fs, keep_all, fire);
+  ASSERT_EQ(attempts.size(), 1u);
+  EXPECT_EQ(attempts[0], 1u);
+  ASSERT_TRUE(ep.next_retry_at(plan, keep_all).has_value());
+  EXPECT_EQ(*ep.next_retry_at(plan, keep_all), 300u);  // 100 + 2*timeout
+  ep.service_retries(300, plan, fs, keep_all, fire);
+  EXPECT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(fs.retries, 2u);
+  ep.settle_ack(0, ep.epoch());
+  ep.service_retries(10000, plan, fs, keep_all, fire);
+  EXPECT_EQ(attempts.size(), 2u);  // acked records never retransmit
+  EXPECT_FALSE(ep.next_retry_at(plan, keep_all).has_value());
+}
+
+// --- transports ------------------------------------------------------------
+
+TEST(MakeTransport, SimHasNoTransportObject) {
+  EXPECT_THROW(make_transport(EdenTransportKind::Sim, 2), std::invalid_argument);
+  EXPECT_STREQ(make_transport(EdenTransportKind::Shm, 2)->name(), "shm");
+  EXPECT_STREQ(make_transport(EdenTransportKind::Tcp, 2)->name(), "tcp");
+}
+
+void transport_delivers(Transport& t) {
+  t.start();
+  t.send(1, sample_msg(3, 0, {11, 22, 33}));
+  std::optional<DataMsg> m = poll_wait(t, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->channel, 3u);
+  EXPECT_EQ(m->packet.words, (std::vector<std::uint64_t>{11, 22, 33}));
+  EXPECT_FALSE(t.poll(0).has_value());
+
+  // Self-sends work (skeleton placement can route a PE to itself).
+  DataMsg self = sample_msg(4, 1, {7});
+  self.src_pe = 1;
+  t.send(1, self);
+  m = poll_wait(t, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->channel, 4u);
+
+  // A payload far beyond one socket buffer / mailbox slot, over a real
+  // peer link (src 1 → dst 0, never the self-send shortcut).
+  DataMsg big = sample_msg(5, 2, std::vector<std::uint64_t>(200000, 0xAB));
+  big.src_pe = 1;
+  t.send(0, big);
+  m = poll_wait(t, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->packet.words.size(), 200000u);
+  EXPECT_EQ(m->packet.words[199999], 0xABu);
+
+  EXPECT_TRUE(t.idle());
+  EXPECT_GE(t.stats().frames_sent.load(), 3u);
+  EXPECT_EQ(t.stats().frames_delivered.load(), 3u);
+  EXPECT_EQ(t.stats().crc_errors.load(), 0u);
+  t.stop();
+}
+
+TEST(ShmTransport, DeliversValuesAndSelfSends) {
+  ShmTransport t(2);
+  transport_delivers(t);
+}
+
+TEST(TcpTransport, DeliversValuesAndSelfSends) {
+  TcpTransport t(2);
+  transport_delivers(t);
+}
+
+void transport_mpsc_fifo(Transport& t, std::uint32_t n_producers,
+                         std::uint64_t per_producer) {
+  // N producer threads blast one consumer; per-sender FIFO (by cseq) must
+  // hold even through mailbox-full / socket-buffer backpressure.
+  t.start();
+  std::vector<std::jthread> producers;
+  for (std::uint32_t p = 0; p < n_producers; ++p)
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        DataMsg m = sample_msg(/*channel=*/p, /*cseq=*/i, {p, i});
+        m.src_pe = p + 1;
+        t.send(0, m);
+      }
+    });
+  std::map<std::uint64_t, std::uint64_t> next;  // channel -> expected cseq
+  std::uint64_t got = 0;
+  while (got < n_producers * per_producer) {
+    std::optional<DataMsg> m = poll_wait(t, 0);
+    ASSERT_TRUE(m.has_value()) << "only " << got << " messages arrived";
+    EXPECT_EQ(m->cseq, next[m->channel]++) << "sender " << m->channel;
+    got++;
+  }
+  producers.clear();
+  EXPECT_TRUE(t.idle());
+  EXPECT_FALSE(t.poll(0).has_value());
+  t.stop();
+}
+
+TEST(ShmTransport, ConcurrentProducersKeepFifoUnderBackpressure) {
+  // Ring capacity 16 forces constant backpressure in the producers.
+  ShmTransport t(4, nullptr, /*capacity=*/16);
+  transport_mpsc_fifo(t, 3, 500);
+}
+
+TEST(TcpTransport, ConcurrentProducersKeepFifoUnderBackpressure) {
+  // A small out-buffer limit exercises the poller's partial writes.
+  TcpTransport t(4, nullptr, /*out_buf_limit=*/4096);
+  transport_mpsc_fifo(t, 3, 500);
+}
+
+TEST(Transport, FaultFilterDropsDuplicatesAndDelays) {
+  // A deterministic lossy plan applied at the delivery boundary: the
+  // numbers must come from the injector's draws, not from racing wires.
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop = 0.25;
+  plan.duplicate = 0.25;
+  plan.delay = 0.25;
+  plan.delay_extra = 1000;  // 1ms of wall clock
+  FaultInjector inj(plan);
+  ShmTransport t(2, &inj);
+  t.start();
+  const std::uint64_t n = 400;
+  std::uint64_t expect_dropped = 0, expect_dup = 0, expect_delayed = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t.send(1, sample_msg(0, i, {i}));
+    // Mirror the filter's decision order: drop, else delay, else duplicate.
+    if (inj.drop_message(0, i, 0)) expect_dropped++;
+    else if (inj.delay_message(0, i, 0)) expect_delayed++;
+    else if (inj.duplicate_message(0, i, 0)) expect_dup++;
+  }
+  EXPECT_GT(expect_dropped, 0u);
+  EXPECT_GT(expect_dup, 0u);
+  EXPECT_GT(expect_delayed, 0u);
+  std::uint64_t got = 0;
+  const std::uint64_t want = n - expect_dropped + expect_dup;
+  while (got < want) {
+    std::optional<DataMsg> m = poll_wait(t, 1);
+    ASSERT_TRUE(m.has_value()) << got << " of " << want << " arrived";
+    got++;
+  }
+  EXPECT_TRUE(t.idle());
+  EXPECT_EQ(t.stats().dropped.load(), expect_dropped);
+  EXPECT_EQ(t.stats().duplicated.load(), expect_dup);
+  EXPECT_EQ(t.stats().delayed.load(), expect_delayed);
+  EXPECT_FALSE(t.poll(1).has_value());
+  t.stop();
+}
+
+}  // namespace
+}  // namespace ph::net

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "eden/pack.hpp"
+#include "net/frame.hpp"
 #include "rig.hpp"
 
 namespace ph::test {
@@ -118,6 +119,82 @@ TEST_P(PackFuzz, PacketSizeIsStable) {
   protect.push_back(unpack_graph(*r.m, 0, p1));
   Packet p2 = pack_graph(protect.back());
   EXPECT_EQ(p1.words, p2.words);
+}
+
+TEST_P(PackFuzz, FramedRoundTripIsIsomorphic) {
+  // The wire format (net/frame): a packed graph survives encode → decode
+  // byte-exactly, envelope fields included.
+  Rig r;
+  Lcg rng{GetParam() * 577 + 3};
+  std::vector<Obj*> protect;
+  RootGuard guard(*r.m, protect);
+  Obj* root = random_graph_obj(*r.m, rng, protect);
+  net::DataMsg m;
+  m.channel = rng(1000);
+  m.kind = net::MsgKind::Value;
+  m.packet = pack_graph(root);
+  m.cseq = rng(1000);
+  m.epoch = rng(10);
+  m.src_pe = static_cast<std::uint32_t>(rng(64));
+  m.attempt = static_cast<std::uint32_t>(rng(8));
+  const std::vector<std::uint8_t> frame = net::encode_frame(m);
+  net::DataMsg out = net::decode_frame(frame);
+  EXPECT_EQ(out.channel, m.channel);
+  EXPECT_EQ(out.kind, m.kind);
+  EXPECT_EQ(out.cseq, m.cseq);
+  EXPECT_EQ(out.epoch, m.epoch);
+  EXPECT_EQ(out.src_pe, m.src_pe);
+  EXPECT_EQ(out.attempt, m.attempt);
+  ASSERT_EQ(out.packet.words, m.packet.words);
+  protect.push_back(unpack_graph(*r.m, 0, out.packet));
+  std::map<Obj*, Obj*> corr;
+  EXPECT_TRUE(isomorphic(root, protect.back(), corr));
+}
+
+TEST_P(PackFuzz, TruncatedFramesAreRejected) {
+  Rig r;
+  Lcg rng{GetParam() * 41 + 11};
+  std::vector<Obj*> protect;
+  RootGuard guard(*r.m, protect);
+  net::DataMsg m;
+  m.kind = net::MsgKind::Value;
+  m.packet = pack_graph(random_graph_obj(*r.m, rng, protect));
+  const std::vector<std::uint8_t> frame = net::encode_frame(m);
+  // Every proper prefix must fail with a structured Truncated error (a
+  // short header included), never decode to garbage.
+  for (std::size_t cut = 1; cut < 4; ++cut) {
+    const std::size_t len = frame.size() - cut * (frame.size() / 5) - 1;
+    try {
+      net::decode_frame(frame.data(), len);
+      FAIL() << "decoded a frame truncated to " << len << " bytes";
+    } catch (const net::FrameError& e) {
+      EXPECT_EQ(e.defect, net::FrameDefect::Truncated) << net::frame_defect_name(e.defect);
+    }
+  }
+}
+
+TEST_P(PackFuzz, BitFlipsAreRejected) {
+  Rig r;
+  Lcg rng{GetParam() * 229 + 17};
+  std::vector<Obj*> protect;
+  RootGuard guard(*r.m, protect);
+  net::DataMsg m;
+  m.kind = net::MsgKind::StreamElem;
+  m.packet = pack_graph(random_graph_obj(*r.m, rng, protect));
+  const std::vector<std::uint8_t> frame = net::encode_frame(m);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<std::uint8_t> bad = frame;
+    // Flip one bit anywhere past the length word (body or stored CRC):
+    // the checksum must catch it.
+    const std::size_t byte = 4 + rng(bad.size() - 4);
+    bad[byte] ^= static_cast<std::uint8_t>(1u << rng(8));
+    try {
+      net::decode_frame(bad);
+      FAIL() << "decoded a frame with a flipped bit at byte " << byte;
+    } catch (const net::FrameError& e) {
+      EXPECT_EQ(e.defect, net::FrameDefect::BadCrc) << net::frame_defect_name(e.defect);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PackFuzz, ::testing::Range<std::uint64_t>(1, 13));

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Sanitizer stress job for the schedule-exploration harness and the
-# parallel GC.
+# Sanitizer stress job for the schedule-exploration harness, the parallel
+# GC and the real-time Eden driver.
 #
-# Builds the tree with PARHASK_SANITIZE=thread and runs two labelled
+# Builds the tree with PARHASK_SANITIZE=thread and runs three labelled
 # suites under many random schedules:
 #   schedtest — Chase-Lev deque races, black-hole entry ordering, perturbed
 #               full ThreadedDriver runs;
 #   gc        — the parallel-GC torture suite (random graphs vs the
 #               sequential oracle, evacuation CAS-race exploration, the
-#               ThreadedDriver hammer with frequent team collections).
+#               ThreadedDriver hammer with frequent team collections);
+#   eden_rt   — EdenThreadedDriver over the real transports (shm mailboxes,
+#               framed TCP): OS-threaded PEs, lossy-plan retransmission and
+#               the freeze-based quiescence protocol.
 # Each iteration exports a fresh PARHASK_SCHED_SEED, which the seeded tests
 # pick up to derive their delay decisions. A data race found by TSan is
 # therefore reproducible: re-export the seed printed on the failing line and
@@ -45,10 +48,10 @@ for ((i = 0; i < iterations; ++i)); do
   seed=$((base_seed + i))
   echo "=== tsan_stress: seed $seed ($((i + 1))/$iterations) ==="
   if ! (cd "$build_dir" && PARHASK_SCHED_SEED=$seed \
-        ctest -L 'schedtest|gc' --output-on-failure); then
+        ctest -L 'schedtest|gc|eden_rt' --output-on-failure); then
     echo "tsan_stress: FAILURE at PARHASK_SCHED_SEED=$seed" >&2
     echo "reproduce with:" >&2
-    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc' --output-on-failure" >&2
+    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc|eden_rt' --output-on-failure" >&2
     fail=1
     break
   fi
