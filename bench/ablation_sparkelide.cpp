@@ -1,0 +1,219 @@
+// A8 — lint-driven spark-elision ablation (DESIGN.md §12.6): the same
+// workload run with and without --spark-elide, on both the tuned par
+// placements (parList: spark first, force later) and the naive ones
+// (parListNaive: `par y (seq y ...)` — the par-placement mistake the
+// paper's sumEuler discussion dissects, where the parent forces the very
+// thunk it just sparked).
+//
+// Expected shape, emitted to BENCH_lint.json:
+//   * naive variants: every spark site is provably ImmediatelyDemanded,
+//     so elision rewrites them to seq — created and fizzled both drop to
+//     zero (strictly fewer than the un-elided run, which fizzles nearly
+//     every spark it creates);
+//   * tuned variants: the analysis proves nothing, elision must not touch
+//     them — the sim is deterministic, so the spark counters are
+//     *identical* with and without --spark-elide.
+//
+// The elision arm is gated exactly the way a user reaches it: the RTS
+// flag string "-DL --spark-elide" goes through parse_rts_flags (which
+// rejects --spark-elide without the lint gate) and the lint bit makes the
+// Machine verify the rewritten program at load.
+#include <chrono>
+#include <fstream>
+
+#include "core/analysis/elide.hpp"
+#include "rts/flags.hpp"
+#include "support.hpp"
+
+using namespace ph;
+using namespace ph::bench;
+
+namespace {
+
+struct RunCell {
+  bool elide = false;
+  std::int64_t value = 0;
+  std::uint64_t makespan = 0;
+  double wall_seconds = 0.0;
+  SparkStats sparks;
+};
+
+struct Workload {
+  const char* name;
+  bool naive;  // naive par placement: elision must fire
+  std::function<Tso*(Machine&, const Program&)> setup;
+  std::int64_t expect;
+  std::vector<RunCell> runs;
+};
+
+RunCell run_cell(const Program& prog, const RtsConfig& cfg, Workload& w, bool elide) {
+  RunCell cell;
+  cell.elide = elide;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunStats s = run_gph(prog, cfg, [&](Machine& m) { return w.setup(m, prog); });
+  cell.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0).count();
+  cell.value = s.value;
+  cell.makespan = s.makespan;
+  cell.sparks = s.sparks;
+  return cell;
+}
+
+void emit_sparks(std::ofstream& json, const SparkStats& s) {
+  json << "\"created\": " << s.created << ", \"converted\": " << s.converted
+       << ", \"fizzled\": " << s.fizzled << ", \"dud\": " << s.dud;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t n = arg_int(argc, argv, "--n", 240);
+  const std::int64_t chunk = arg_int(argc, argv, "--chunk", 5);
+  const std::int64_t mat_n = arg_int(argc, argv, "--mat-n", 16);
+  const std::int64_t mat_q = arg_int(argc, argv, "--mat-q", 4);
+  const std::int64_t apsp_n = arg_int(argc, argv, "--apsp-n", 12);
+  const std::int64_t cores = arg_int(argc, argv, "--cores", 8);
+  std::string out_path = "BENCH_lint.json";
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+
+  Program prog = make_full_program();
+  ElisionStats est;
+  Program elided = elide_useless_sparks(prog, &est);
+  std::printf("A8 — spark-elision ablation (%u cores)\n",
+              static_cast<unsigned>(cores));
+  std::printf("elision: %llu par->seq, %llu dropped, of %llu sites\n\n",
+              static_cast<unsigned long long>(est.to_seq),
+              static_cast<unsigned long long>(est.dropped),
+              static_cast<unsigned long long>(est.sites));
+
+  // Both arms share the top-of-ladder config (work stealing + eager
+  // blackholing: the parent blackholes a thunk at entry, so a thief
+  // stealing a naive spark finds the blackhole and records the fizzle
+  // instead of silently duplicating the work). The elide arm's flags go
+  // through the real parser so the gate (--spark-elide needs -DL) and the
+  // load-time linter are both exercised.
+  const RtsConfig plain_cfg =
+      config_worksteal_eagerbh(static_cast<std::uint32_t>(cores));
+  const RtsConfig elide_cfg =
+      parse_rts_flags("-DL --spark-elide", plain_cfg);
+
+  const Mat a = random_matrix(static_cast<std::size_t>(mat_n), 11);
+  const Mat bm = random_matrix(static_cast<std::size_t>(mat_n), 12);
+  const std::int64_t mat_nb = mat_n / mat_q;
+  const DistMat g = random_graph(static_cast<std::size_t>(apsp_n), 7);
+
+  auto sumeuler = [&](const char* fn) {
+    return [fn, chunk, n](Machine& m, const Program& p) {
+      return m.spawn_apply(p.find(fn),
+                           {make_int(m, 0, chunk), make_int(m, 0, n)}, 0);
+    };
+  };
+  auto matmul = [&](const char* fn) {
+    return [fn, &a, &bm, mat_nb, mat_q](Machine& m, const Program& p) {
+      Obj* ao = make_int_matrix(m, 0, a);
+      std::vector<Obj*> protect{ao};
+      RootGuard guard(m, protect);
+      Obj* bo = make_int_matrix(m, 0, bm);
+      protect.push_back(bo);
+      Obj* mm = make_apply_thunk(m, 0, p.find(fn),
+                                 {make_int(m, 0, mat_nb), make_int(m, 0, mat_q),
+                                  protect[0], protect[1]});
+      std::vector<Obj*> p2{mm};
+      RootGuard g2(m, p2);
+      Obj* chk = make_apply_thunk(m, 0, p.find("matSum"), {p2[0]});
+      return m.spawn_enter(chk, 0);
+    };
+  };
+  auto apsp = [&](const char* fn) {
+    return [fn, &g, apsp_n](Machine& m, const Program& p) {
+      Obj* mo = make_int_matrix(m, 0, g);
+      return m.spawn_apply(p.find(fn), {make_int(m, 0, apsp_n), mo}, 0);
+    };
+  };
+
+  const std::int64_t se_want = sum_euler_reference(n);
+  const std::int64_t mm_want = mat_checksum(matmul_reference(a, bm));
+  const std::int64_t ap_want = apsp_checksum(floyd_warshall(g));
+
+  std::vector<Workload> work;
+  work.push_back({"sumeuler_tuned", false, sumeuler("sumEulerPar"), se_want, {}});
+  work.push_back({"sumeuler_naive", true, sumeuler("sumEulerParNaive"), se_want, {}});
+  work.push_back({"matmul_tuned", false, matmul("matMulGph"), mm_want, {}});
+  work.push_back({"matmul_naive", true, matmul("matMulGphNaive"), mm_want, {}});
+  work.push_back({"apsp_tuned", false, apsp("apspChecksum"), ap_want, {}});
+  work.push_back({"apsp_naive", true, apsp("apspChecksumNaive"), ap_want, {}});
+
+  bool pass = true;
+  std::printf("%-16s %6s %10s %9s %10s %9s %6s %12s %9s\n", "workload", "elide",
+              "created", "converted", "fizzled", "dud", "value", "makespan",
+              "wall s");
+  for (Workload& w : work) {
+    w.runs.push_back(run_cell(prog, plain_cfg, w, false));
+    w.runs.push_back(run_cell(elided, elide_cfg, w, true));
+    for (const RunCell& c : w.runs) {
+      std::printf("%-16s %6s %10llu %9llu %10llu %9llu %6s %12llu %9.4f\n",
+                  w.name, c.elide ? "on" : "off",
+                  static_cast<unsigned long long>(c.sparks.created),
+                  static_cast<unsigned long long>(c.sparks.converted),
+                  static_cast<unsigned long long>(c.sparks.fizzled),
+                  static_cast<unsigned long long>(c.sparks.dud),
+                  c.value == w.expect ? "ok" : "BAD",
+                  static_cast<unsigned long long>(c.makespan), c.wall_seconds);
+      if (c.value != w.expect) pass = false;
+    }
+    const RunCell& off = w.runs[0];
+    const RunCell& on = w.runs[1];
+    if (w.naive) {
+      // Elision is only a win if the un-elided naive run really pays: it
+      // must create sparks and fizzle some, and the elided run must have
+      // strictly fewer of both (they drop to zero: no site survives).
+      if (!(off.sparks.created > 0 && off.sparks.fizzled > 0 &&
+            on.sparks.created < off.sparks.created &&
+            on.sparks.fizzled < off.sparks.fizzled)) {
+        std::printf("CHECK %-28s FAILED: counters did not strictly decrease\n",
+                    w.name);
+        pass = false;
+      }
+    } else {
+      // Deterministic sim + untouched sites: identical counters.
+      if (off.sparks.created != on.sparks.created ||
+          off.sparks.converted != on.sparks.converted ||
+          off.sparks.fizzled != on.sparks.fizzled ||
+          off.sparks.dud != on.sparks.dud) {
+        std::printf("CHECK %-28s FAILED: tuned counters changed under elision\n",
+                    w.name);
+        pass = false;
+      }
+    }
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"spark_elide_ablation\",\n"
+       << "  \"cores\": " << cores << ",\n"
+       << "  \"elision\": {\"sites\": " << est.sites << ", \"to_seq\": " << est.to_seq
+       << ", \"dropped\": " << est.dropped << "},\n"
+       << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const Workload& w = work[i];
+    json << "    {\"name\": \"" << w.name << "\", \"naive\": "
+         << (w.naive ? "true" : "false") << ", \"runs\": [\n";
+    for (std::size_t j = 0; j < w.runs.size(); ++j) {
+      const RunCell& c = w.runs[j];
+      json << "      {\"spark_elide\": " << (c.elide ? "true" : "false") << ", ";
+      emit_sparks(json, c.sparks);
+      json << ", \"value\": " << c.value << ", \"makespan\": " << c.makespan
+           << ", \"wall_seconds\": " << c.wall_seconds << "}"
+           << (j + 1 < w.runs.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (i + 1 < work.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  std::printf("CHECK %-28s %s\n", "spark elision ablation",
+              pass ? "OK (values equal; naive counters strictly decreased; "
+                     "tuned counters identical)"
+                   : "FAILED");
+  return pass ? 0 : 1;
+}

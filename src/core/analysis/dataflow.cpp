@@ -1,0 +1,65 @@
+#include "core/analysis/dataflow.hpp"
+
+#include <algorithm>
+
+namespace ph {
+
+namespace {
+
+void collect_refs(const Program& p, ExprId id, std::vector<char>& seen,
+                  std::vector<GlobalId>& out) {
+  if (id < 0 || static_cast<std::size_t>(id) >= p.expr_count()) return;
+  if (seen[static_cast<std::size_t>(id)]) return;
+  seen[static_cast<std::size_t>(id)] = 1;
+  const Expr& e = p.expr(id);
+  if (e.tag == ExprTag::Global && e.a >= 0 &&
+      static_cast<std::size_t>(e.a) < p.global_count())
+    out.push_back(e.a);
+  for (ExprId k : e.kids) collect_refs(p, k, seen, out);
+  for (const Alt& a : e.alts) collect_refs(p, a.body, seen, out);
+  if (e.dflt != kNoExpr) collect_refs(p, e.dflt, seen, out);
+}
+
+}  // namespace
+
+CallGraph::CallGraph(const Program& p) {
+  if (!p.validated())
+    throw std::invalid_argument("CallGraph requires a validated program");
+  const std::size_t n = p.global_count();
+  callees_.resize(n);
+  callers_.resize(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    const Global& gl = p.global(static_cast<GlobalId>(g));
+    if (gl.body == kNoExpr) continue;
+    std::vector<char> seen(p.expr_count(), 0);
+    std::vector<GlobalId> refs;
+    collect_refs(p, gl.body, seen, refs);
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+    callees_[g] = std::move(refs);
+    for (GlobalId h : callees_[g]) callers_[static_cast<std::size_t>(h)].push_back(
+        static_cast<GlobalId>(g));
+  }
+}
+
+std::vector<bool> CallGraph::reachable_from(const std::vector<GlobalId>& roots) const {
+  std::vector<bool> seen(size(), false);
+  std::vector<GlobalId> work;
+  for (GlobalId r : roots)
+    if (r >= 0 && static_cast<std::size_t>(r) < size() && !seen[static_cast<std::size_t>(r)]) {
+      seen[static_cast<std::size_t>(r)] = true;
+      work.push_back(r);
+    }
+  while (!work.empty()) {
+    const GlobalId g = work.back();
+    work.pop_back();
+    for (GlobalId h : callees(g))
+      if (!seen[static_cast<std::size_t>(h)]) {
+        seen[static_cast<std::size_t>(h)] = true;
+        work.push_back(h);
+      }
+  }
+  return seen;
+}
+
+}  // namespace ph

@@ -1,0 +1,89 @@
+// A small monotone dataflow framework over the supercombinator call
+// graph (DESIGN.md §12).
+//
+// Analyses assign every global a *summary* drawn from a join-semilattice
+// and iterate a monotone transfer function to a fixpoint with a worklist:
+// when a global's summary changes, its neighbours (callers for
+// callee-to-caller analyses like strictness, callees for forward ones)
+// are re-queued. Intraprocedurally the transfer functions are structural
+// walks over the expression table; interprocedural facts enter at App
+// nodes through the summary table.
+//
+// All analyses require a validated Program: validation guarantees the
+// expression table is acyclic and in-bounds, which is what makes the
+// structural walks terminate. (The *linter* is the tool for unvalidated
+// programs — see core/lint.)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace ph {
+
+/// Static reference graph between supercombinators: g -> h whenever g's
+/// body mentions Global h anywhere (applied or passed as a value — a
+/// function value can always be applied later, so value references are
+/// edges too).
+class CallGraph {
+ public:
+  explicit CallGraph(const Program& p);
+
+  const std::vector<GlobalId>& callees(GlobalId g) const {
+    return callees_.at(static_cast<std::size_t>(g));
+  }
+  const std::vector<GlobalId>& callers(GlobalId g) const {
+    return callers_.at(static_cast<std::size_t>(g));
+  }
+  std::size_t size() const { return callees_.size(); }
+
+  /// Globals reachable from `roots` (roots included).
+  std::vector<bool> reachable_from(const std::vector<GlobalId>& roots) const;
+
+ private:
+  std::vector<std::vector<GlobalId>> callees_;
+  std::vector<std::vector<GlobalId>> callers_;
+};
+
+/// Which neighbours to re-queue when a summary changes.
+enum class FlowDirection : std::uint8_t {
+  Callers,  // summaries flow callee -> caller (strictness, effects)
+  Callees   // summaries flow caller -> callee (contexts, shapes)
+};
+
+/// Runs `transfer(g, table)` to a fixpoint over the call graph.
+/// `transfer` must be monotone in the table (w.r.t. the analysis order)
+/// and return the new summary for g; Summary needs operator==. Returns
+/// the number of transfer evaluations (for telemetry/tests).
+template <typename Summary, typename Transfer>
+int solve_fixpoint(const CallGraph& cg, FlowDirection dir,
+                   std::vector<Summary>& table, Transfer&& transfer) {
+  const std::size_t n = cg.size();
+  if (table.size() != n)
+    throw std::invalid_argument("solve_fixpoint: summary table size mismatch");
+  std::deque<GlobalId> work;
+  std::vector<char> queued(n, 1);
+  for (std::size_t g = 0; g < n; ++g) work.push_back(static_cast<GlobalId>(g));
+  int evals = 0;
+  while (!work.empty()) {
+    const GlobalId g = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(g)] = 0;
+    ++evals;
+    Summary next = transfer(g, table);
+    if (next == table[static_cast<std::size_t>(g)]) continue;
+    table[static_cast<std::size_t>(g)] = std::move(next);
+    const auto& deps = dir == FlowDirection::Callers ? cg.callers(g) : cg.callees(g);
+    for (GlobalId d : deps)
+      if (!queued[static_cast<std::size_t>(d)]) {
+        queued[static_cast<std::size_t>(d)] = 1;
+        work.push_back(d);
+      }
+  }
+  return evals;
+}
+
+}  // namespace ph

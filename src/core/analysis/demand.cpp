@@ -1,0 +1,208 @@
+#include "core/analysis/demand.hpp"
+
+#include <algorithm>
+
+namespace ph {
+namespace {
+
+std::uint64_t bit(std::int64_t lvl) {
+  return (lvl >= 0 && lvl < 64) ? (1ull << lvl) : 0;
+}
+
+std::uint64_t mask_below(std::int32_t depth) {
+  if (depth <= 0) return 0;
+  if (depth >= 64) return ~0ull;
+  return (1ull << depth) - 1;
+}
+
+/// Evaluating this expression to WHNF forces nothing interesting first:
+/// literals and function values are immediate, constructor applications
+/// only allocate (their fields stay lazy).
+bool trivially_cheap(const Expr& e) {
+  return e.tag == ExprTag::Lit || e.tag == ExprTag::Global || e.tag == ExprTag::Con;
+}
+
+class DemandEval {
+ public:
+  DemandEval(const Program& p, const std::vector<DemandInfo>& table)
+      : p_(p), table_(table) {}
+
+  /// Levels surely forced when `id`'s value is forced to WHNF.
+  std::uint64_t strict_set(ExprId id, std::int32_t depth) const {
+    const Expr& e = p_.expr(id);
+    switch (e.tag) {
+      case ExprTag::Var:
+        return bit(e.a);
+      case ExprTag::Lit:
+      case ExprTag::Global:
+      case ExprTag::Con:
+        return 0;
+      case ExprTag::App: {
+        std::uint64_t s = strict_set(e.kids[0], depth);
+        const Expr& f = p_.expr(e.kids[0]);
+        if (f.tag == ExprTag::Global) {
+          const Global& g = p_.global(f.a);
+          const auto nargs = static_cast<std::int32_t>(e.kids.size()) - 1;
+          if (g.arity > 0 && nargs >= g.arity) {
+            const std::uint64_t callee = table_[static_cast<std::size_t>(f.a)].strict;
+            for (std::int32_t i = 0; i < std::min<std::int32_t>(g.arity, 64); ++i)
+              if (callee & bit(i))
+                s |= strict_set(e.kids[static_cast<std::size_t>(i) + 1], depth);
+          }
+        }
+        return s;
+      }
+      case ExprTag::Let: {
+        const auto n = static_cast<std::int32_t>(e.kids.size()) - 1;
+        std::uint64_t s = strict_set(e.kids[static_cast<std::size_t>(n)], depth + n);
+        // Demand on a binder pulls in its right-hand side's demand; chase
+        // binder-to-binder chains to a (bounded) local fixpoint.
+        for (int round = 0; round < 64; ++round) {
+          std::uint64_t extra = 0;
+          for (std::int32_t i = 0; i < n; ++i)
+            if (s & bit(depth + i))
+              extra |= strict_set(e.kids[static_cast<std::size_t>(i)], depth + n);
+          if ((s | extra) == s) break;
+          s |= extra;
+        }
+        return s & mask_below(depth);
+      }
+      case ExprTag::Case: {
+        std::uint64_t s = strict_set(e.kids[0], depth);
+        std::uint64_t branches = ~0ull;
+        bool any = false;
+        for (const Alt& a : e.alts) {
+          branches &= strict_set(a.body, depth + a.arity) & mask_below(depth);
+          any = true;
+        }
+        if (e.dflt != kNoExpr) {
+          branches &=
+              strict_set(e.dflt, depth + (e.a != 0 ? 1 : 0)) & mask_below(depth);
+          any = true;
+        }
+        return any ? (s | branches) : s;
+      }
+      case ExprTag::Prim: {
+        std::uint64_t s = 0;
+        for (ExprId k : e.kids) s |= strict_set(k, depth);
+        return s;
+      }
+      case ExprTag::Seq:
+        return strict_set(e.kids[0], depth) | strict_set(e.kids[1], depth);
+      case ExprTag::Par:
+        // The sparked operand is *speculative*: never surely forced.
+        return strict_set(e.kids[1], depth);
+    }
+    return 0;
+  }
+
+  /// Levels forced as the body's *first* action — before any work a
+  /// sparked sibling could overlap with.
+  std::uint64_t head_set(ExprId id, std::int32_t depth) const {
+    const Expr& e = p_.expr(id);
+    switch (e.tag) {
+      case ExprTag::Var:
+        return bit(e.a);
+      case ExprTag::Lit:
+      case ExprTag::Global:
+      case ExprTag::Con:
+        return 0;
+      case ExprTag::App: {
+        const Expr& f = p_.expr(e.kids[0]);
+        if (f.tag == ExprTag::Global) {
+          const Global& g = p_.global(f.a);
+          const auto nargs = static_cast<std::int32_t>(e.kids.size()) - 1;
+          if (g.arity > 0 && nargs >= g.arity) {
+            // Entering g is immediate (argument thunks only allocate);
+            // g's head-demanded params become head demand on var args.
+            const std::uint64_t callee = table_[static_cast<std::size_t>(f.a)].head;
+            std::uint64_t h = 0;
+            for (std::int32_t i = 0; i < std::min<std::int32_t>(g.arity, 64); ++i)
+              if (callee & bit(i)) {
+                const Expr& arg = p_.expr(e.kids[static_cast<std::size_t>(i) + 1]);
+                if (arg.tag == ExprTag::Var) h |= bit(arg.a);
+              }
+            return h;
+          }
+          return 0;  // builds a PAP: no forcing at all
+        }
+        return head_set(e.kids[0], depth);
+      }
+      case ExprTag::Let: {
+        const auto n = static_cast<std::int32_t>(e.kids.size()) - 1;
+        std::uint64_t h = head_set(e.kids[static_cast<std::size_t>(n)], depth + n);
+        // Head demand on a binder is head demand on its right-hand side
+        // (the binder's thunk is entered at once).
+        for (int round = 0; round < 64; ++round) {
+          std::uint64_t extra = 0;
+          for (std::int32_t i = 0; i < n; ++i)
+            if (h & bit(depth + i))
+              extra |= head_set(e.kids[static_cast<std::size_t>(i)], depth + n);
+          if ((h | extra) == h) break;
+          h |= extra;
+        }
+        return h & mask_below(depth);
+      }
+      case ExprTag::Case:
+        return head_set(e.kids[0], depth);
+      case ExprTag::Prim: {
+        std::uint64_t h = head_set(e.kids[0], depth);
+        if (e.kids.size() == 2 && trivially_cheap(p_.expr(e.kids[0])))
+          h |= head_set(e.kids[1], depth);
+        return h;
+      }
+      case ExprTag::Seq: {
+        std::uint64_t h = head_set(e.kids[0], depth);
+        if (trivially_cheap(p_.expr(e.kids[0]))) h |= head_set(e.kids[1], depth);
+        return h;
+      }
+      case ExprTag::Par:
+        // Sparking is instantaneous; the continuation's first force is
+        // still the thread's first force.
+        return head_set(e.kids[1], depth);
+    }
+    return 0;
+  }
+
+ private:
+  const Program& p_;
+  const std::vector<DemandInfo>& table_;
+};
+
+}  // namespace
+
+DemandResult analyze_demand(const Program& p, const CallGraph& cg) {
+  if (!p.validated())
+    throw std::invalid_argument("analyze_demand requires a validated program");
+  DemandResult res;
+  res.globals.resize(p.global_count());
+  // Greatest fixpoint: start all-strict / all-head and shrink.
+  for (std::size_t g = 0; g < p.global_count(); ++g) {
+    const std::uint64_t full =
+        mask_below(std::min<std::int32_t>(p.global(static_cast<GlobalId>(g)).arity, 64));
+    res.globals[g] = {full, full};
+  }
+  res.transfer_evals = solve_fixpoint<DemandInfo>(
+      cg, FlowDirection::Callers, res.globals,
+      [&](GlobalId g, const std::vector<DemandInfo>& table) -> DemandInfo {
+        const Global& gl = p.global(g);
+        if (gl.body == kNoExpr || gl.arity == 0) return {0, 0};
+        DemandEval ev(p, table);
+        const std::uint64_t params = mask_below(std::min<std::int32_t>(gl.arity, 64));
+        return {ev.strict_set(gl.body, gl.arity) & params,
+                ev.head_set(gl.body, gl.arity) & params};
+      });
+  return res;
+}
+
+std::uint64_t strict_demand_set(const Program& p, const DemandResult& d, ExprId e,
+                                std::int32_t depth) {
+  return DemandEval(p, d.globals).strict_set(e, depth);
+}
+
+std::uint64_t head_demand_set(const Program& p, const DemandResult& d, ExprId e,
+                              std::int32_t depth) {
+  return DemandEval(p, d.globals).head_set(e, depth);
+}
+
+}  // namespace ph

@@ -1,0 +1,64 @@
+// Interprocedural demand/strictness analysis (DESIGN.md §12.3).
+//
+// For every supercombinator g two bitmasks over its parameters:
+//
+//  * strict — parameter i is *surely forced* whenever a saturated call's
+//    result is forced (Mycroft-style strictness: the static counterpart
+//    of eager black-holing — a strict argument's thunk will be entered
+//    exactly once by the demanding thread, so speculation on it can only
+//    race that thread).
+//
+//  * head — parameter i is the *first thing the body forces*: the call
+//    demands it before doing any interleavable work of its own. This is
+//    the mask spark-usefulness needs: `par x (f x)` with x head-demanded
+//    by f leaves the spark no window to be converted usefully.
+//
+// The lattice per global is a pair of subset lattices ordered by
+// inclusion; the fixpoint is *greatest* (start from all-parameters,
+// shrink), with intersection joins at Case branches, so recursive calls
+// start optimistic and settle downward — the standard gfp formulation
+// for strictness on a complete lattice of finite height (<= 64 bits x 2
+// per global, so termination is immediate).
+//
+// Only the first 64 environment levels are tracked; deeper levels are
+// conservatively treated as lazy (no shipped program nests that far).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analysis/dataflow.hpp"
+#include "core/program.hpp"
+
+namespace ph {
+
+struct DemandInfo {
+  std::uint64_t strict = 0;  // bit i: param i forced whenever the result is
+  std::uint64_t head = 0;    // bit i: param i is the body's first force
+  friend bool operator==(const DemandInfo&, const DemandInfo&) = default;
+};
+
+struct DemandResult {
+  std::vector<DemandInfo> globals;  // indexed by GlobalId
+  int transfer_evals = 0;
+
+  const DemandInfo& of(GlobalId g) const {
+    return globals.at(static_cast<std::size_t>(g));
+  }
+};
+
+/// Requires a validated program.
+DemandResult analyze_demand(const Program& p, const CallGraph& cg);
+
+/// Strict-demand set of an arbitrary expression at scope `depth` under a
+/// finished analysis: a bitmask of absolute de Bruijn levels (< 64) the
+/// expression surely forces when its value is forced.
+std::uint64_t strict_demand_set(const Program& p, const DemandResult& d, ExprId e,
+                                std::int32_t depth);
+
+/// Head-demand set: levels the expression forces *first*, before any
+/// other interleavable work. Consumed by spark-usefulness.
+std::uint64_t head_demand_set(const Program& p, const DemandResult& d, ExprId e,
+                              std::int32_t depth);
+
+}  // namespace ph

@@ -1,0 +1,85 @@
+#include "core/analysis/elide.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ph {
+
+Program elide_sparks(const Program& p, const SparkUseResult& su,
+                     ElisionStats* stats) {
+  if (!p.validated())
+    throw std::invalid_argument("elide_sparks requires a validated program");
+  if (su.expr_count != p.expr_count())
+    throw std::invalid_argument(
+        "elide_sparks: spark-usefulness results were computed for a different "
+        "program (expression table size mismatch) — rerun the analysis");
+
+  ElisionStats st;
+  st.sites = su.sites.size();
+
+  // Verdict per Par node. A site may appear once per enclosing global; a
+  // shared node elides only if every occurrence agrees (shared nodes only
+  // arise for closed subtrees, where the verdict is context-free anyway).
+  std::unordered_map<ExprId, SparkVerdict> verdict;
+  for (const SparkSite& s : su.sites) {
+    auto [it, fresh] = verdict.emplace(s.par_expr, s.verdict);
+    if (!fresh && it->second != s.verdict) it->second = SparkVerdict::Useful;
+  }
+
+  const std::size_t n = p.expr_count();
+
+  // AlreadyWhnf Par nodes are bypassed: references to them point at their
+  // continuation instead. Chase chains of bypassed nodes to a final
+  // target (bounded; a cycle would mean a malformed table, which
+  // validate() rules out).
+  std::vector<ExprId> target(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    target[i] = static_cast<ExprId>(i);
+    const auto it = verdict.find(static_cast<ExprId>(i));
+    if (it != verdict.end() && it->second == SparkVerdict::AlreadyWhnf)
+      target[i] = p.expr(static_cast<ExprId>(i)).kids[1];
+  }
+  const auto resolve = [&](ExprId id) {
+    ExprId t = id;
+    for (std::size_t fuel = 0; fuel <= n; ++fuel) {
+      if (target[static_cast<std::size_t>(t)] == t) return t;
+      t = target[static_cast<std::size_t>(t)];
+    }
+    return id;  // unreachable for validated programs
+  };
+
+  Program out;
+  for (std::size_t i = 0; i < n; ++i) {
+    Expr e = p.expr(static_cast<ExprId>(i));
+    const auto it = verdict.find(static_cast<ExprId>(i));
+    if (it != verdict.end()) {
+      if (it->second == SparkVerdict::ImmediatelyDemanded) {
+        e.tag = ExprTag::Seq;  // same kids, forced instead of sparked
+        ++st.to_seq;
+      } else if (it->second == SparkVerdict::AlreadyWhnf) {
+        ++st.dropped;  // node stays in the table but nothing refers to it
+      }
+    }
+    for (ExprId& k : e.kids) k = resolve(k);
+    for (Alt& a : e.alts) a.body = resolve(a.body);
+    if (e.dflt != kNoExpr) e.dflt = resolve(e.dflt);
+    out.add_expr(std::move(e));
+  }
+  for (std::size_t g = 0; g < p.global_count(); ++g) {
+    const Global& gl = p.global(static_cast<GlobalId>(g));
+    const GlobalId id = out.declare(gl.name, gl.arity);
+    if (gl.body != kNoExpr) out.define(id, resolve(gl.body));
+  }
+  out.validate();
+  if (stats) *stats = st;
+  return out;
+}
+
+Program elide_useless_sparks(const Program& p, ElisionStats* stats) {
+  const CallGraph cg(p);
+  const DemandResult demand = analyze_demand(p, cg);
+  const SparkUseResult su = analyze_spark_usefulness(p, demand);
+  return elide_sparks(p, su, stats);
+}
+
+}  // namespace ph

@@ -1,0 +1,51 @@
+// Lint-driven spark elision (DESIGN.md §12.6).
+//
+// Consumes the spark-usefulness verdicts and rewrites provably-useless
+// `par` sites:
+//
+//  * ImmediatelyDemanded — `par x b` where b head-demands x becomes
+//    `seq x b`: the parent was going to force x first anyway, so forcing
+//    it directly preserves the evaluation order while removing the spark
+//    (and the fizzle it was destined for).
+//
+//  * AlreadyWhnf — `par e b` where e is statically WHNF becomes plain
+//    `b`: the runtime would count the spark as a dud and drop it, so the
+//    node is pure overhead.
+//
+// Both rewrites are semantics-preserving in the by-need sense: the value
+// of `par e b` *is* the value of b, and removing speculation can only
+// make the program more defined (a speculative spark may evaluate an
+// expression the demanded result never needs). Spark counters can only
+// decrease — the property the lint test-suite pins.
+//
+// Programs are immutable once validated, so elision produces a *fresh*
+// Program with identical GlobalIds and an expression table of the same
+// size (dropped Par nodes stay in the table, unreferenced, so ExprIds
+// remain stable for diagnostics that quote them).
+#pragma once
+
+#include <cstddef>
+
+#include "core/analysis/sparkuse.hpp"
+#include "core/program.hpp"
+
+namespace ph {
+
+struct ElisionStats {
+  std::size_t sites = 0;    // Par sites inspected
+  std::size_t to_seq = 0;   // ImmediatelyDemanded: Par rewritten to Seq
+  std::size_t dropped = 0;  // AlreadyWhnf: Par node bypassed entirely
+};
+
+/// Rewrite `p` according to `su` (which must have been computed for this
+/// very program; a table-size mismatch throws std::invalid_argument —
+/// the second layer of the "--spark-elide requires analysis results"
+/// guard). Returns a validated program.
+Program elide_sparks(const Program& p, const SparkUseResult& su,
+                     ElisionStats* stats = nullptr);
+
+/// Convenience: call graph + demand + spark-usefulness + elision in one
+/// step. Requires a validated program.
+Program elide_useless_sparks(const Program& p, ElisionStats* stats = nullptr);
+
+}  // namespace ph

@@ -1,0 +1,84 @@
+#include "core/analysis/packability.hpp"
+
+namespace ph {
+namespace {
+
+/// Syntactic (intra-procedural) facts of one body.
+PackFact local_facts(const Program& p, ExprId root) {
+  PackFact f;
+  std::vector<char> seen(p.expr_count(), 0);
+  std::vector<ExprId> work{root};
+  while (!work.empty()) {
+    const ExprId id = work.back();
+    work.pop_back();
+    if (seen[static_cast<std::size_t>(id)]) continue;
+    seen[static_cast<std::size_t>(id)] = 1;
+    const Expr& e = p.expr(id);
+    if (e.tag == ExprTag::Par) f.may_spark = true;
+    if (e.tag == ExprTag::Prim && static_cast<PrimOp>(e.a) == PrimOp::Error)
+      f.may_error = true;
+    for (ExprId k : e.kids) work.push_back(k);
+    for (const Alt& a : e.alts) work.push_back(a.body);
+    if (e.dflt != kNoExpr) work.push_back(e.dflt);
+  }
+  return f;
+}
+
+}  // namespace
+
+PackabilityResult analyze_packability(const Program& p, const CallGraph& cg) {
+  if (!p.validated())
+    throw std::invalid_argument("analyze_packability requires a validated program");
+  PackabilityResult res;
+  res.globals.resize(p.global_count());
+  std::vector<PackFact> local(p.global_count());
+  for (std::size_t g = 0; g < p.global_count(); ++g) {
+    const Global& gl = p.global(static_cast<GlobalId>(g));
+    if (gl.body != kNoExpr) local[g] = local_facts(p, gl.body);
+  }
+  // Least fixpoint of a union join: facts flow callee -> caller, so a
+  // change to g re-enqueues g's callers.
+  res.transfer_evals = solve_fixpoint<PackFact>(
+      cg, FlowDirection::Callers, res.globals,
+      [&](GlobalId g, const std::vector<PackFact>& table) -> PackFact {
+        PackFact f = local[static_cast<std::size_t>(g)];
+        for (GlobalId h : cg.callees(g)) {
+          const PackFact& hf = table[static_cast<std::size_t>(h)];
+          f.may_error = f.may_error || hf.may_error;
+          f.may_spark = f.may_spark || hf.may_spark;
+        }
+        return f;
+      });
+  return res;
+}
+
+std::vector<PackDefect> check_pack_sinks(const Program& p,
+                                         const CallGraph& cg,
+                                         const PackabilityResult& pack,
+                                         const std::vector<GlobalId>& sinks) {
+  std::vector<PackDefect> out;
+  for (GlobalId s : sinks) {
+    if (s < 0 || static_cast<std::size_t>(s) >= p.global_count()) continue;
+    const std::vector<bool> reach = cg.reachable_from({s});
+    GlobalId err_via = -1, spark_via = -1;
+    for (std::size_t g = 0; g < p.global_count(); ++g) {
+      if (!reach[g]) continue;
+      const PackFact& f = pack.globals[g];
+      if (f.may_error && err_via < 0) err_via = static_cast<GlobalId>(g);
+      if (f.may_spark && spark_via < 0) spark_via = static_cast<GlobalId>(g);
+    }
+    if (err_via >= 0)
+      out.push_back({"P1", s, err_via,
+                     "graph shipped through Eden sink '" + p.global(s).name +
+                         "' may reach error# via '" + p.global(err_via).name +
+                         "': a remote PE has no handler for the caller's context"});
+    if (spark_via >= 0)
+      out.push_back({"P2", s, spark_via,
+                     "graph shipped through Eden sink '" + p.global(s).name +
+                         "' may spark via '" + p.global(spark_via).name +
+                         "': sparks on a single-capability PE can never convert"});
+  }
+  return out;
+}
+
+}  // namespace ph

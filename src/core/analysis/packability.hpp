@@ -1,0 +1,67 @@
+// Eden packability analysis (DESIGN.md §12.5).
+//
+// Eden ships *graph structure* between PEs: when a thunk is packed into a
+// channel message its free variables are serialised with it and the
+// receiver rebuilds the closure remotely. Two properties make a shipped
+// expression hazardous:
+//
+//  * may_error — evaluating it can call error# (prelude head/tail on an
+//    empty list, user partiality). Locally the error surfaces on the
+//    demanding thread; shipped to a remote PE it surfaces on a machine
+//    with no handler for the producing context, killing the PE instead
+//    of the caller (rule P1).
+//
+//  * may_spark — evaluating it executes `par`. Sparks created on a
+//    remote single-capability PE can never be converted (nobody steals),
+//    so every one is pure pool churn (rule P2).
+//
+// Both facts are computed as a least fixpoint of a union join over the
+// call graph: a global may error/spark if its body syntactically does,
+// or if any callee reachable from its body does. This is deliberately
+// flow-insensitive — a may-fact, not a must-fact — so defects are
+// reported as *warnings*: the prelude's own head/tail legitimately
+// carry error# for their partial branches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis/dataflow.hpp"
+#include "core/program.hpp"
+
+namespace ph {
+
+struct PackFact {
+  bool may_error = false;  // body (transitively) contains PrimOp::Error
+  bool may_spark = false;  // body (transitively) contains Par
+  friend bool operator==(const PackFact&, const PackFact&) = default;
+};
+
+struct PackabilityResult {
+  std::vector<PackFact> globals;  // indexed by GlobalId
+  int transfer_evals = 0;
+
+  const PackFact& of(GlobalId g) const {
+    return globals.at(static_cast<std::size_t>(g));
+  }
+};
+
+/// Requires a validated program.
+PackabilityResult analyze_packability(const Program& p, const CallGraph& cg);
+
+struct PackDefect {
+  std::string rule;    // "P1" (partiality shipped) or "P2" (remote spark)
+  GlobalId sink = -1;  // the Eden sink whose argument graph misbehaves
+  GlobalId via = -1;   // the offending global reachable from the sink
+  std::string message;
+};
+
+/// Check every global reachable from `sinks` (the globals Eden drivers
+/// ship to remote PEs — parmap workers, channel producers) against the
+/// packability facts. Returns warnings, never errors.
+std::vector<PackDefect> check_pack_sinks(const Program& p,
+                                         const CallGraph& cg,
+                                         const PackabilityResult& pack,
+                                         const std::vector<GlobalId>& sinks);
+
+}  // namespace ph

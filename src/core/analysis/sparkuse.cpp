@@ -1,0 +1,168 @@
+#include "core/analysis/sparkuse.hpp"
+
+namespace ph {
+
+const char* spark_verdict_name(SparkVerdict v) {
+  switch (v) {
+    case SparkVerdict::Useful: return "useful";
+    case SparkVerdict::AlreadyWhnf: return "already-whnf";
+    case SparkVerdict::ImmediatelyDemanded: return "immediately-demanded";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t bit(std::int64_t lvl) {
+  return (lvl >= 0 && lvl < 64) ? (1ull << lvl) : 0;
+}
+
+class SparkWalker {
+ public:
+  SparkWalker(const Program& p, const DemandResult& demand,
+              std::vector<SparkSite>& out)
+      : p_(p), demand_(demand), out_(out) {}
+
+  /// `whnf` carries the levels the enclosing context has provably forced
+  /// (case-default binders, seq'd variables, case-scrutinee variables,
+  /// let binders bound to atoms in WHNF).
+  void walk(GlobalId g, ExprId id, std::int32_t depth, std::uint64_t whnf) {
+    gid_ = g;
+    const Expr& e = p_.expr(id);
+    switch (e.tag) {
+      case ExprTag::Var:
+      case ExprTag::Lit:
+      case ExprTag::Global:
+        return;
+      case ExprTag::App:
+      case ExprTag::Con:
+      case ExprTag::Prim:
+        for (ExprId k : e.kids) walk(g, k, depth, whnf);
+        return;
+      case ExprTag::Let: {
+        const auto n = static_cast<std::int32_t>(e.kids.size()) - 1;
+        // Binders bound to atoms already in WHNF stay WHNF. Eval only
+        // binds *outer-scope* atoms directly (a Var naming another letrec
+        // binder becomes a thunk), so whnf facts never flow binder-to-
+        // binder here.
+        std::uint64_t w = whnf;
+        for (std::int32_t i = 0; i < n; ++i)
+          if (binds_whnf(e.kids[static_cast<std::size_t>(i)], whnf, depth))
+            w |= bit(depth + i);
+        for (std::size_t i = 0; i < e.kids.size(); ++i)
+          walk(g, e.kids[i], depth + n, w);
+        return;
+      }
+      case ExprTag::Case: {
+        walk(g, e.kids[0], depth, whnf);
+        std::uint64_t after = whnf;
+        const Expr& scrut = p_.expr(e.kids[0]);
+        if (scrut.tag == ExprTag::Var) after |= bit(scrut.a);
+        for (const Alt& a : e.alts) walk(g, a.body, depth + a.arity, after);
+        if (e.dflt != kNoExpr) {
+          std::uint64_t dw = after;
+          if (e.a != 0) dw |= bit(depth);  // default binder holds the WHNF
+          walk(g, e.dflt, depth + (e.a != 0 ? 1 : 0), dw);
+        }
+        return;
+      }
+      case ExprTag::Seq: {
+        walk(g, e.kids[0], depth, whnf);
+        std::uint64_t after = whnf;
+        const Expr& forced = p_.expr(e.kids[0]);
+        if (forced.tag == ExprTag::Var) after |= bit(forced.a);
+        walk(g, e.kids[1], depth, after);
+        return;
+      }
+      case ExprTag::Par: {
+        classify(id, e, depth, whnf);
+        walk(g, e.kids[0], depth, whnf);
+        walk(g, e.kids[1], depth, whnf);
+        return;
+      }
+    }
+  }
+
+ private:
+  /// Would a let binder with this right-hand side be bound to a WHNF
+  /// object? Mirrors eval's atom() rule, whose env_limit is the *outer*
+  /// scope depth: only outer variables bind directly.
+  bool binds_whnf(ExprId rhs, std::uint64_t whnf, std::int32_t outer_depth) const {
+    const Expr& e = p_.expr(rhs);
+    switch (e.tag) {
+      case ExprTag::Lit:
+        return true;
+      case ExprTag::Global:
+        return p_.global(e.a).arity > 0;  // arity 0 binds the CAF thunk
+      case ExprTag::Con:
+        return e.kids.empty();
+      case ExprTag::Var:
+        return e.a < outer_depth && (whnf & bit(e.a)) != 0;
+      default:
+        return false;
+    }
+  }
+
+  void classify(ExprId id, const Expr& e, std::int32_t depth, std::uint64_t whnf) {
+    SparkSite site;
+    site.global = gid_;
+    site.par_expr = id;
+    const Expr& op = p_.expr(e.kids[0]);
+    switch (op.tag) {
+      case ExprTag::Lit:
+        site.verdict = SparkVerdict::AlreadyWhnf;
+        site.reason = "sparked operand is a literal";
+        break;
+      case ExprTag::Global:
+        if (p_.global(op.a).arity > 0) {
+          site.verdict = SparkVerdict::AlreadyWhnf;
+          site.reason = "sparked operand is a function value";
+        }
+        break;
+      case ExprTag::Con:
+        if (op.kids.empty()) {
+          site.verdict = SparkVerdict::AlreadyWhnf;
+          site.reason = "sparked operand is a nullary constructor";
+        }
+        break;
+      case ExprTag::Var: {
+        if (whnf & bit(op.a)) {
+          site.verdict = SparkVerdict::AlreadyWhnf;
+          site.reason = "sparked variable v" + std::to_string(op.a) +
+                        " is already forced by the enclosing context";
+        } else if (head_demand_set(p_, demand_, e.kids[1], depth) & bit(op.a)) {
+          site.verdict = SparkVerdict::ImmediatelyDemanded;
+          site.reason = "continuation forces sparked variable v" +
+                        std::to_string(op.a) + " as its first action";
+        }
+        break;
+      }
+      default:
+        break;  // fresh thunk: Useful
+    }
+    out_.push_back(std::move(site));
+  }
+
+  const Program& p_;
+  const DemandResult& demand_;
+  std::vector<SparkSite>& out_;
+  GlobalId gid_ = -1;
+};
+
+}  // namespace
+
+SparkUseResult analyze_spark_usefulness(const Program& p, const DemandResult& demand) {
+  if (!p.validated())
+    throw std::invalid_argument("analyze_spark_usefulness requires a validated program");
+  SparkUseResult res;
+  res.expr_count = p.expr_count();
+  SparkWalker w(p, demand, res.sites);
+  for (std::size_t g = 0; g < p.global_count(); ++g) {
+    const Global& gl = p.global(static_cast<GlobalId>(g));
+    if (gl.body == kNoExpr) continue;
+    w.walk(static_cast<GlobalId>(g), gl.body, gl.arity, 0);
+  }
+  return res;
+}
+
+}  // namespace ph

@@ -1,0 +1,60 @@
+// Spark-usefulness analysis (DESIGN.md §12.4): classifies every `Par`
+// site in the program.
+//
+//  * AlreadyWhnf — the sparked operand is statically in WHNF (a literal,
+//    a function value, a nullary constructor, or a variable the
+//    surrounding context has already forced). Capability::spark counts
+//    such sparks as `dud` at runtime; statically they are pure overhead.
+//
+//  * ImmediatelyDemanded — the sparked operand is a variable the
+//    continuation head-demands: the parent forces the very thunk it just
+//    sparked before doing any other work, so the spark either fizzles
+//    (popped after the parent finished it) or is stolen mid-evaluation
+//    and blocks on the parent's black hole. The classic
+//    `par x (x + y)` par-placement mistake the paper's sumEuler
+//    discussion dissects.
+//
+//  * Useful — everything else: the analysis cannot prove the spark
+//    redundant, so the elision pass must leave it alone.
+//
+// Only Var operands can be ImmediatelyDemanded: a non-variable operand
+// builds a *fresh* thunk, which the continuation cannot share and hence
+// cannot fizzle by forcing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis/demand.hpp"
+#include "core/program.hpp"
+
+namespace ph {
+
+enum class SparkVerdict : std::uint8_t { Useful, AlreadyWhnf, ImmediatelyDemanded };
+
+const char* spark_verdict_name(SparkVerdict v);
+
+struct SparkSite {
+  GlobalId global = -1;
+  ExprId par_expr = kNoExpr;
+  SparkVerdict verdict = SparkVerdict::Useful;
+  std::string reason;
+};
+
+struct SparkUseResult {
+  std::vector<SparkSite> sites;  // every Par in the program, body order
+  std::size_t expr_count = 0;    // guards elide_sparks against table mismatch
+
+  std::size_t useless() const {
+    std::size_t n = 0;
+    for (const SparkSite& s : sites)
+      if (s.verdict != SparkVerdict::Useful) ++n;
+    return n;
+  }
+};
+
+/// Requires a validated program and its demand analysis.
+SparkUseResult analyze_spark_usefulness(const Program& p, const DemandResult& demand);
+
+}  // namespace ph

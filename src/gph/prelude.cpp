@@ -320,6 +320,26 @@ void build_prelude(Builder& b) {
                                                 c.app("parList", {c.var("s"), c.var("t")}));
                                  }}});
   });
+  /// The par-placement mistake the paper's sumEuler discussion dissects:
+  /// spark a thunk and then immediately force it in the continuation. Every
+  /// spark either fizzles (parent got there first) or the thief blocks on
+  /// the parent's black hole. Kept as a measurable baseline: the
+  /// spark-usefulness analysis (DESIGN.md §12.4) classifies each of these
+  /// sites ImmediatelyDemanded and --spark-elide rewrites them to seq.
+  b.fun("parListNaive", {"s", "xs"}, [](Ctx& c) {
+    return c.match(c.var("xs"),
+                   {Ctx::AltSpec{0, {}, [&] { return c.con(0); }},
+                    Ctx::AltSpec{1, {"h", "t"}, [&] {
+                                   return c.let1(
+                                       "y", c.app(c.var("s"), {c.var("h")}), [&] {
+                                         return c.par(
+                                             c.var("y"),
+                                             c.seq(c.var("y"),
+                                                   c.app("parListNaive",
+                                                         {c.var("s"), c.var("t")})));
+                                       });
+                                 }}});
+  });
   /// rnf at type [Int].
   b.fun("forceIntList", {"xs"}, [](Ctx& c) {
     return c.match(c.var("xs"),

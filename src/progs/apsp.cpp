@@ -54,6 +54,14 @@ void build_apsp(Builder& b) {
           c.var("matN"));
     });
   });
+  // Naive par placement: the strategy itself forces each sparked row.
+  b.fun("apspGphNaive", {"n", "mat"}, [](Ctx& c) {
+    return c.let1("matN", c.app("fwChain", {c.var("n"), c.lit(0), c.var("mat")}), [&] {
+      return c.seq(
+          c.app(c.global("parListNaive"), {c.global("forceIntList"), c.var("matN")}),
+          c.var("matN"));
+    });
+  });
   b.fun("fwGoSeq", {"n", "k", "mat"}, [](Ctx& c) {
     return c.iff(
         c.prim(P::Ge, c.var("k"), c.var("n")), [&] { return c.var("mat"); },
@@ -74,6 +82,9 @@ void build_apsp(Builder& b) {
   });
   b.fun("apspChecksum", {"n", "mat"}, [](Ctx& c) {
     return c.app("matSum", {c.app("apspGph", {c.var("n"), c.var("mat")})});
+  });
+  b.fun("apspChecksumNaive", {"n", "mat"}, [](Ctx& c) {
+    return c.app("matSum", {c.app("apspGphNaive", {c.var("n"), c.var("mat")})});
   });
 
   // --- Eden ring node ----------------------------------------------------------

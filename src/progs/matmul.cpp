@@ -102,6 +102,20 @@ void build_matmul(Builder& b) {
                                  c.app("assemble", {c.var("brows")}));
                   });
   });
+  /// Naive par placement: sparks through parListNaive, which forces each
+  /// sparked block itself — the assembling thread never gets ahead of the
+  /// strategy, so the sparks only fizzle.
+  b.fun("matMulGphNaive", {"nb", "q", "a", "bm"}, [](Ctx& c) {
+    return c.let1("brows",
+                  c.app("allBlockRows",
+                        {c.var("a"), c.var("bm"), c.var("nb"), c.var("q"), c.lit(0)}),
+                  [&] {
+                    return c.seq(c.app(c.global("parListNaive"),
+                                       {c.global("forceIntMatrix"),
+                                        c.app("concat", {c.var("brows")})}),
+                                 c.app("assemble", {c.var("brows")}));
+                  });
+  });
   /// Checksum over a flat list of blocks (for Eden results).
   b.fun("sumBlocks", {"blocks"}, [](Ctx& c) {
     return c.app("sum", {c.app("map", {c.global("matSum"), c.var("blocks")})});

@@ -33,6 +33,21 @@ void build_sumeuler(Builder& b) {
           });
         });
   });
+  // Naive par placement (paper §III.B's first sumEuler attempt): identical
+  // to sumEulerPar but the strategy sparks each chunk and immediately
+  // forces it. Every spark is ImmediatelyDemanded (DESIGN.md §12.4);
+  // --spark-elide turns the strategy into seqList behaviour.
+  b.fun("sumEulerParNaive", {"chunk", "n"}, [](Ctx& c) {
+    return c.let1(
+        "chunks",
+        c.app("chunksOf", {c.var("chunk"), c.app("enumFromTo", {c.lit(1), c.var("n")})}), [&] {
+          return c.let1("results", c.app("map", {c.global("sumPhi"), c.var("chunks")}), [&] {
+            return c.app("sum", {c.app("using",
+                                       {c.var("results"),
+                                        c.app(c.global("parListNaive"), {c.global("rwhnf")})})});
+          });
+        });
+  });
   // Round-robin variant: [1..n] is unshuffled into `nchunks` balanced
   // sublists (phi's cost grows with k, so contiguous chunks are skewed).
   b.fun("sumEulerParRR", {"nchunks", "n"}, [](Ctx& c) {

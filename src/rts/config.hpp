@@ -94,6 +94,15 @@ struct RtsConfig {
   /// the virtual-time simulation). Read by the Eden layer, not by Machine.
   EdenTransportKind eden_transport = EdenTransportKind::Sim;
   bool eden_rt = false;
+  /// GHC's +RTS -DL (also --lint): run Core Lint over the program at load
+  /// time; Machine aborts with structured LintError diagnostics if the IR
+  /// is malformed. See src/core/lint and DESIGN.md §12.
+  bool lint = false;
+  /// --spark-elide: rewrite provably-useless `par` sites (spark-usefulness
+  /// analysis, DESIGN.md §12.6) before running. Requires --lint/-DL so the
+  /// analyses run against a verified program; parse_rts_flags rejects the
+  /// combination --spark-elide without lint.
+  bool spark_elide = false;
 
   std::string name = "custom";
 };

@@ -67,6 +67,14 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
       cfg.eden_rt = true;
       continue;
     }
+    if (f == "--lint") {
+      cfg.lint = true;
+      continue;
+    }
+    if (f == "--spark-elide") {
+      cfg.spark_elide = true;
+      continue;
+    }
     const std::string rest = f.substr(2);
     switch (f[1]) {
       case 'N': {
@@ -94,6 +102,7 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
         for (char ch : rest) {
           switch (ch) {
             case 'S': cfg.sanity = true; break;
+            case 'L': cfg.lint = true; break;
             default: throw FlagError("unrecognised RTS flag: " + f);
           }
         }
@@ -118,6 +127,10 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
         throw FlagError("unrecognised RTS flag: " + f);
     }
   }
+  if (cfg.spark_elide && !cfg.lint)
+    throw FlagError(
+        "--spark-elide requires --lint (or -DL): elision consumes the "
+        "lint-verified analysis results");
   cfg.name = "flags";
   return cfg;
 }
@@ -140,6 +153,8 @@ std::string show_rts_flags(const RtsConfig& cfg) {
   out << (cfg.blackhole == BlackholePolicy::Lazy ? " -ql" : " -qe");
   out << (cfg.sparkrun == SparkRunPolicy::ThreadPerSpark ? " -qt" : " -qT");
   if (cfg.sanity) out << " -DS";
+  if (cfg.lint) out << " -DL";
+  if (cfg.spark_elide) out << " --spark-elide";
   if (cfg.gc_threads != 0) out << " --gc-threads=" << cfg.gc_threads;
   if (cfg.eden_transport != EdenTransportKind::Sim)
     out << " --eden-transport=" << eden_transport_name(cfg.eden_transport);

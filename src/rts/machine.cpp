@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/lint/lint.hpp"
 #include "rts/schedtest.hpp"
 
 namespace ph {
@@ -100,6 +101,10 @@ constexpr std::uint16_t kStaticConTags = 16;
 
 Machine::Machine(const Program& prog, RtsConfig cfg) : prog_(prog), cfg_(std::move(cfg)) {
   if (!prog_.validated()) throw ProgramError("program must be validated before running");
+  // +RTS -DL: Core Lint at load time. Every driver (sim, threaded, Eden
+  // sim, Eden rt) funnels its program through this constructor, so one
+  // hook covers all four.
+  if (cfg_.lint) lint_or_throw(prog_, {}, "load");
   if (cfg_.n_caps == 0) throw ProgramError("machine needs at least one capability");
   cfg_.heap.n_nurseries = cfg_.n_caps;
   cfg_.heap.gc_threads = cfg_.gc_threads == 0 ? cfg_.n_caps : cfg_.gc_threads;

@@ -131,6 +131,45 @@ TEST(Flags, EdenRtFlag) {
             std::string::npos);
 }
 
+TEST(Flags, LintDebugFlag) {
+  EXPECT_FALSE(parse_rts_flags("").lint);
+  EXPECT_TRUE(parse_rts_flags("-DL").lint);
+  EXPECT_TRUE(parse_rts_flags("--lint").lint);
+  EXPECT_TRUE(parse_rts_flags("-N4 -DL -qs").lint);
+  // -D letters combine: -DSL turns on both auditors.
+  RtsConfig both = parse_rts_flags("-DSL");
+  EXPECT_TRUE(both.sanity);
+  EXPECT_TRUE(both.lint);
+  // Round-trips through show; absent when off.
+  RtsConfig c = parse_rts_flags("-N2 -DL");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find(" -DL"), std::string::npos) << shown;
+  EXPECT_TRUE(parse_rts_flags(shown).lint);
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2")).find("-DL"),
+            std::string::npos);
+}
+
+TEST(Flags, SparkElideRequiresLint) {
+  // Elision consumes the lint-verified analysis results, so the flag is
+  // rejected unless -DL/--lint is also given.
+  EXPECT_THROW(parse_rts_flags("--spark-elide"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-N4 --spark-elide -qs"), FlagError);
+  EXPECT_TRUE(parse_rts_flags("--lint --spark-elide").spark_elide);
+  EXPECT_TRUE(parse_rts_flags("-DL --spark-elide").spark_elide);
+  EXPECT_FALSE(parse_rts_flags("-DL").spark_elide);
+  // Order independent: the check runs after the whole string is parsed.
+  EXPECT_TRUE(parse_rts_flags("--spark-elide -DL").spark_elide);
+  // Round-trips through show; absent when off.
+  RtsConfig c = parse_rts_flags("-N2 -DL --spark-elide");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find("--spark-elide"), std::string::npos) << shown;
+  RtsConfig c2 = parse_rts_flags(shown);
+  EXPECT_TRUE(c2.lint);
+  EXPECT_TRUE(c2.spark_elide);
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2 -DL")).find("--spark-elide"),
+            std::string::npos);
+}
+
 TEST(SchedFlags, ParseAndDefaults) {
   SchedPlan d;
   EXPECT_FALSE(d.enabled());

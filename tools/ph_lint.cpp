@@ -1,0 +1,157 @@
+// ph-lint: standalone Core Lint driver (DESIGN.md §12).
+//
+// Lints the shipped IR unit by unit — the prelude alone, then the prelude
+// plus each benchmark builder, then the combined program — and prints
+// GCC-style diagnostics (unit:global:path: error[Ln]: message). With
+// --analysis it additionally runs the dataflow analyses on the combined
+// program and reports per-site spark verdicts; with --sinks=f,g it runs
+// the Eden packability check against those sink globals.
+//
+// Exit status: 0 clean (warnings allowed), 1 any lint error, 2 usage.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analysis/dataflow.hpp"
+#include "core/analysis/demand.hpp"
+#include "core/analysis/elide.hpp"
+#include "core/analysis/packability.hpp"
+#include "core/analysis/sparkuse.hpp"
+#include "core/builder.hpp"
+#include "core/lint/lint.hpp"
+#include "gph/prelude.hpp"
+#include "progs/apsp.hpp"
+#include "progs/divconq.hpp"
+#include "progs/matmul.hpp"
+#include "progs/sumeuler.hpp"
+
+namespace {
+
+using namespace ph;
+
+struct Unit {
+  std::string name;
+  void (*extra)(Builder&);  // nullptr = prelude only
+};
+
+const Unit kUnits[] = {
+    {"prelude", nullptr},          {"sumeuler", build_sumeuler},
+    {"matmul", build_matmul},      {"apsp", build_apsp},
+    {"divconq", build_divconq},
+};
+
+Program build_unit(const Unit& u) {
+  Program p;
+  Builder b(p);
+  build_prelude(b);
+  if (u.extra) u.extra(b);
+  return p;  // deliberately NOT validated: lint is the multi-defect checker
+}
+
+Program build_all() {
+  Program p;
+  Builder b(p);
+  build_prelude(b);
+  for (const Unit& u : kUnits)
+    if (u.extra) u.extra(b);
+  return p;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string t;
+  while (std::getline(in, t, ','))
+    if (!t.empty()) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool analysis = false;
+  std::string only_unit;
+  std::vector<std::string> root_names, sink_names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--analysis") analysis = true;
+    else if (a.rfind("--unit=", 0) == 0) only_unit = a.substr(7);
+    else if (a.rfind("--roots=", 0) == 0) root_names = split_commas(a.substr(8));
+    else if (a.rfind("--sinks=", 0) == 0) sink_names = split_commas(a.substr(8));
+    else if (a == "--help" || a == "-h") {
+      std::cout << "usage: ph-lint [--unit=NAME] [--roots=g,...] [--sinks=g,...] "
+                   "[--analysis]\n";
+      return 0;
+    } else {
+      std::cerr << "ph-lint: unknown option " << a << "\n";
+      return 2;
+    }
+  }
+
+  std::size_t errors = 0, warnings = 0;
+  for (const Unit& u : kUnits) {
+    if (!only_unit.empty() && only_unit != u.name) continue;
+    Program p = build_unit(u);
+    LintOptions opts;
+    for (const std::string& r : root_names)
+      if (p.has(r)) opts.roots.push_back(p.find(r));
+    const LintReport rep = lint_program(p, opts);
+    if (!rep.defects.empty()) std::cout << rep.render(p, u.name);
+    errors += rep.error_count();
+    warnings += rep.warning_count();
+    std::cout << u.name << ": " << rep.error_count() << " error(s), "
+              << rep.warning_count() << " warning(s)\n";
+  }
+
+  if (analysis || !sink_names.empty()) {
+    Program p = build_all();
+    const LintReport rep = lint_program(p);
+    if (!rep.clean()) {
+      std::cout << "analysis skipped: combined program has lint errors\n";
+      return 1;
+    }
+    p.validate();
+    const CallGraph cg(p);
+    const DemandResult demand = analyze_demand(p, cg);
+    if (analysis) {
+      const SparkUseResult su = analyze_spark_usefulness(p, demand);
+      std::cout << "-- spark-usefulness (" << su.sites.size() << " par sites, "
+                << su.useless() << " provably useless) --\n";
+      for (const SparkSite& s : su.sites) {
+        std::cout << "  " << p.global(s.global).name << ": "
+                  << spark_verdict_name(s.verdict);
+        if (!s.reason.empty()) std::cout << " (" << s.reason << ")";
+        std::cout << "\n";
+      }
+      ElisionStats st;
+      (void)elide_sparks(p, su, &st);
+      std::cout << "-- elision: " << st.to_seq << " par->seq, " << st.dropped
+                << " dropped, of " << st.sites << " sites --\n";
+    }
+    if (!sink_names.empty()) {
+      const PackabilityResult pack = analyze_packability(p, cg);
+      std::vector<GlobalId> sinks;
+      for (const std::string& s : sink_names) {
+        if (!p.has(s)) {
+          std::cerr << "ph-lint: unknown sink global '" << s << "'\n";
+          return 2;
+        }
+        sinks.push_back(p.find(s));
+      }
+      const std::vector<PackDefect> defects = check_pack_sinks(p, cg, pack, sinks);
+      for (const PackDefect& d : defects) {
+        std::cout << "all:" << p.global(d.sink).name << ": warning[" << d.rule
+                  << "]: " << d.message << "\n";
+        ++warnings;
+      }
+      std::cout << "-- packability: " << defects.size() << " warning(s) over "
+                << sinks.size() << " sink(s) --\n";
+    }
+  }
+
+  std::cout << "ph-lint: " << errors << " error(s), " << warnings
+            << " warning(s) total\n";
+  return errors == 0 ? 0 : 1;
+}

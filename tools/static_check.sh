@@ -1,0 +1,43 @@
+#!/bin/sh
+# Static-analysis gate (DESIGN.md §12.7):
+#
+#   1. ph-lint over every shipped IR unit (prelude + each benchmark);
+#      any lint error fails the check.
+#   2. A pinned clang-tidy subset over src/core and src/rts. The container
+#      does not always ship clang-tidy, so this stage degrades to a
+#      skip-with-notice rather than a failure when the tool (or the
+#      compile database) is missing.
+#
+# Usage: static_check.sh <path-to-ph-lint> <repo-root>
+set -u
+
+PH_LINT="${1:?usage: static_check.sh <ph-lint> <repo-root>}"
+REPO="${2:?usage: static_check.sh <ph-lint> <repo-root>}"
+
+echo "== stage 1: ph-lint =="
+"$PH_LINT" || exit 1
+
+echo "== stage 2: clang-tidy (pinned subset) =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy: not found in container, skipping this stage"
+  exit 0
+fi
+BUILD_DIR="$REPO/build"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "clang-tidy: no compile_commands.json under $BUILD_DIR, skipping this stage"
+  echo "            (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON to enable)"
+  exit 0
+fi
+# Pinned check subset: correctness-adjacent checks only, so upgrading the
+# toolchain cannot flip the gate on style opinions.
+CHECKS="-*,bugprone-use-after-move,bugprone-dangling-handle,bugprone-infinite-loop,clang-analyzer-core.*,clang-analyzer-cplusplus.NewDelete,clang-analyzer-deadcode.DeadStores"
+STATUS=0
+for f in "$REPO"/src/core/*.cpp "$REPO"/src/core/lint/*.cpp \
+         "$REPO"/src/core/analysis/*.cpp "$REPO"/src/rts/*.cpp; do
+  [ -f "$f" ] || continue
+  if ! clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*' \
+       --checks="$CHECKS" "$f"; then
+    STATUS=1
+  fi
+done
+exit $STATUS
