@@ -27,13 +27,21 @@ EdenSystem::EdenSystem(const Program& prog, EdenConfig cfg)
       cfg_.transport = EdenTransportKind::Shm;
   }
   realtime_ = cfg_.transport != EdenTransportKind::Sim;
+  if (cfg_.transport == EdenTransportKind::Proc) {
+    // Process-per-PE mode: the supervisor replays send logs after a
+    // respawn, so the reliable-channel protocol is always on; and each PE
+    // must use the sequential collector — a parallel GC worker team
+    // started before fork() would not survive into the children.
+    reliable_ = true;
+    cfg_.pe_rts.gc_threads = 1;
+  }
   if (realtime_) {
-    // The sim-only machinery that cannot run against wall clocks: crash
-    // supervision needs the global virtual clock and single-threaded
-    // channel migration; the alloc-fault hook is a shared counter.
-    if (cfg_.fault.crashes())
-      throw ProgramError("PE-crash fault plans are sim-only "
-                         "(the real-time driver has no crash supervisor)");
+    // Crash plans are legal here: EdenProcDriver executes them as real
+    // SIGKILLs at wall-clock offsets. Only the alloc-fault hook stays
+    // sim-only (the injector's allocation counter is shared state).
+    if (cfg_.fault.crashes() && cfg_.transport != EdenTransportKind::Proc)
+      throw ProgramError("PE-crash fault plans need --eden-transport=proc "
+                         "(only the process-per-PE driver can kill a PE)");
     if (cfg_.fault.alloc_fail_at != 0)
       throw ProgramError("alloc-fault plans are sim-only "
                          "(the injector's allocation counter is shared)");
@@ -247,6 +255,12 @@ bool EdenSystem::rt_drain(std::uint32_t pi) {
   RtPe* rp = realtime_ && reliable_ ? rt_.at(pi).get() : nullptr;
   while (std::optional<net::DataMsg> m = transport_->poll(pi)) {
     any = true;
+    if (m->kind >= MsgKind::Heartbeat) {
+      // Supervision control plane: `channel` is a ctrl opcode here, not a
+      // channel id — it must not reach the channel table.
+      if (rt_ctrl_) rt_ctrl_(*m);
+      continue;
+    }
     ChannelState& ch = channels_.at(m->channel);
     if (!reliable_) {
       apply_data(m->channel, m->kind, m->packet);
@@ -299,6 +313,50 @@ void EdenSystem::rt_service_retries(std::uint32_t pi) {
                             transport_->send(ch.pe, m);
                           });
   }
+}
+
+void EdenSystem::rt_restart_notify(std::uint32_t pi, std::uint32_t restarted,
+                                   const std::vector<std::uint64_t>& epochs) {
+  // 1. Epoch alignment: a channel's epoch tracks its *consumer's*
+  //    incarnation, so acks a dead consumer left on the wire can never
+  //    settle a record addressed to its replacement. repoint() also
+  //    resets receiver-half state, which only the consuming PE uses —
+  //    harmless in everyone else's copy.
+  for (ChannelState& ch : channels_)
+    while (ch.ep.epoch() < epochs.at(ch.pe)) ch.ep.repoint();
+  if (restarted == pi) return;  // a fresh incarnation aligning at startup
+  // 2. Replay this PE's whole send log towards the restarted consumer:
+  //    the replacement recomputes from scratch and needs every input
+  //    again; its dedup absorbs whatever the old incarnation acked.
+  RtPe& rp = *rt_.at(pi);
+  const FaultPlan& plan = injector_.plan();
+  const std::uint64_t t0 = rt_now();
+  std::uint64_t newly = 0;
+  for (std::uint64_t chid : rp.produced) {
+    ChannelState& ch = channels_.at(chid);
+    if (ch.pe != restarted) continue;
+    for (net::SentRecord& r : ch.ep.log()) {
+      if (r.acked) {
+        r.acked = false;
+        newly++;
+      }
+      r.epoch = ch.ep.epoch();
+      net::DataMsg m;
+      m.channel = chid;
+      m.kind = r.kind;
+      m.packet = r.packet;
+      m.cseq = r.cseq;
+      m.epoch = r.epoch;
+      m.src_pe = r.src_pe;
+      m.attempt = r.attempts++;
+      transport_->send(ch.pe, m);
+      r.cur_timeout = plan.retry_timeout;
+      r.next_retry_at = rt_now() + r.cur_timeout;
+      rp.fs.replayed++;
+    }
+  }
+  if (newly != 0) rp.unacked.fetch_add(newly, std::memory_order_acq_rel);
+  rp.fs.replay_us += rt_now() - t0;
 }
 
 void EdenSystem::send_value(std::uint32_t src_pe, std::uint64_t channel, Obj* nf_root) {
@@ -366,6 +424,9 @@ void EdenSystem::apply_data(std::uint64_t channel, MsgKind kind, const Packet& p
       break;
     case MsgKind::Ack:
       throw EvalError("ack reached apply_data");  // handled in deliver()
+    case MsgKind::Heartbeat:
+    case MsgKind::Ctrl:
+      throw EvalError("control frame reached apply_data");  // rt_drain intercepts
   }
 }
 

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -148,6 +149,7 @@ class EdenSystem {
  private:
   friend class EdenSimDriver;
   friend class EdenThreadedDriver;
+  friend class EdenProcDriver;
 
   using MsgKind = net::MsgKind;
 
@@ -235,6 +237,16 @@ class EdenSystem {
   /// Wires the driver's transport in and stamps the clock epoch. Called
   /// by EdenThreadedDriver::run before the PE threads launch.
   void attach_rt(net::Transport* t);
+  /// Real-time crash recovery (process-per-PE mode). Called on PE `pi`
+  /// when the supervisor announces that PE `restarted` is running a fresh
+  /// incarnation, with `epochs[pe]` = restart count of every PE. Aligns
+  /// every channel's epoch with its *consumer's* incarnation (stale acks
+  /// a dead consumer left on the wire must not settle replayed records),
+  /// then replays this PE's whole send log towards the restarted PE —
+  /// the recomputing replacement needs every input again. Sound because
+  /// processes are pure: (channel, cseq) always denotes the same value.
+  void rt_restart_notify(std::uint32_t pi, std::uint32_t restarted,
+                         const std::vector<std::uint64_t>& epochs);
 
   // Crash supervision.
   void kill_pe(std::uint32_t pe, std::uint64_t now);
@@ -287,6 +299,10 @@ class EdenSystem {
   net::Transport* transport_ = nullptr;  // owned by EdenThreadedDriver
   std::chrono::steady_clock::time_point rt_epoch_;
   std::vector<std::unique_ptr<RtPe>> rt_;
+  /// Supervision control plane (process-per-PE mode): rt_drain hands
+  /// Heartbeat/Ctrl frames here instead of the channel table — their
+  /// `channel` field carries a ctrl opcode, not a channel id.
+  std::function<void(const net::DataMsg&)> rt_ctrl_;
 };
 
 struct EdenSimResult {

@@ -8,6 +8,8 @@ const char* msg_kind_name(MsgKind k) {
     case MsgKind::StreamElem: return "stream-elem";
     case MsgKind::StreamClose: return "stream-close";
     case MsgKind::Ack: return "ack";
+    case MsgKind::Heartbeat: return "heartbeat";
+    case MsgKind::Ctrl: return "ctrl";
   }
   return "?";
 }

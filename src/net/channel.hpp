@@ -34,8 +34,11 @@
 
 namespace ph::net {
 
-/// Message kinds crossing PE boundaries (data plus the protocol ack).
-enum class MsgKind : std::uint8_t { Value, StreamElem, StreamClose, Ack };
+/// Message kinds crossing PE boundaries: data, the protocol ack, and the
+/// supervision control plane (process-per-PE mode). Heartbeat and Ctrl
+/// frames are exempt from fault injection — the supervisor must keep
+/// seeing a PE that the chaos plan is busy starving of data frames.
+enum class MsgKind : std::uint8_t { Value, StreamElem, StreamClose, Ack, Heartbeat, Ctrl };
 
 const char* msg_kind_name(MsgKind k);
 
@@ -103,7 +106,15 @@ class ChannelEndpoint {
       r.cur_timeout = static_cast<std::uint64_t>(
           static_cast<double>(r.cur_timeout) * plan.retry_backoff);
       if (r.cur_timeout == 0) r.cur_timeout = 1;
-      r.next_retry_at = now + r.cur_timeout;
+      // Cap the exponential growth (retry_cap) and de-synchronise the
+      // deadlines (retry_jitter): after a PE restart every survivor
+      // replays its whole log at once, and without jitter their backoff
+      // schedules would stay phase-locked — a retransmission storm
+      // hitting the fresh PE at the same instants forever.
+      if (plan.retry_cap != 0 && r.cur_timeout > plan.retry_cap)
+        r.cur_timeout = plan.retry_cap;
+      r.next_retry_at =
+          now + jittered_timeout(plan, r.cur_timeout, r.src_pe, r.cseq, r.attempts);
     }
   }
 

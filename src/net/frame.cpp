@@ -109,7 +109,7 @@ DataMsg decode_frame(const std::uint8_t* data, std::size_t n) {
   if (body[1] != kFrameVersion)
     throw FrameError(FrameDefect::BadVersion,
                      "frame version " + std::to_string(body[1]));
-  if (body[2] > static_cast<std::uint8_t>(MsgKind::Ack))
+  if (body[2] > static_cast<std::uint8_t>(MsgKind::Ctrl))
     throw FrameError(FrameDefect::BadKind,
                      "unknown message kind " + std::to_string(body[2]));
   DataMsg m;
@@ -136,22 +136,49 @@ bool FrameReader::next(DataMsg& out) {
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
     pos_ = 0;
   }
-  const std::size_t avail = buf_.size() - pos_;
-  if (avail < kFrameHeaderBytes) return false;
-  const std::uint32_t body_len = get_u32(buf_.data() + pos_);
-  if (body_len > kFrameMaxBody) {
-    // The stream is unframeable from here on: discard everything so the
-    // caller sees one structured error rather than a parse loop.
-    pos_ = buf_.size();
-    throw FrameError(FrameDefect::BadLength,
-                     "stream desync: declared body of " + std::to_string(body_len) +
-                         " bytes");
+  // Resynchronising scan: the first defect at any position throws once (the
+  // caller counts a CRC error and the reliable channel retransmits), then
+  // the reader silently slides byte by byte until a plausible frame header
+  // lines up again. Valid frames following corrupt bytes — however the
+  // reads were chunked — are therefore never lost.
+  const auto skip_byte = [this](FrameDefect defect, const std::string& what) {
+    const bool report = !scanning_;
+    scanning_ = true;
+    pos_++;
+    resynced_++;
+    if (report) throw FrameError(defect, "stream desync: " + what + "; resynchronising");
+  };
+  for (;;) {
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kFrameHeaderBytes) return false;
+    const std::uint8_t* p = buf_.data() + pos_;
+    const std::uint32_t body_len = get_u32(p);
+    if (body_len > kFrameMaxBody || body_len < kFrameBodyFixedBytes) {
+      skip_byte(FrameDefect::BadLength,
+                "declared body of " + std::to_string(body_len) + " bytes");
+      continue;
+    }
+    // Cheap pre-CRC screen on the body prefix: while scanning, a garbage
+    // length that happens to be in range must not make us wait forever for
+    // a "frame" that is really payload bytes. ~3 bytes of magic/version/
+    // kind make a false lock-on vanishingly unlikely.
+    if (avail >= kFrameHeaderBytes + 3 &&
+        (p[8] != kFrameMagic || p[9] != kFrameVersion ||
+         p[10] > static_cast<std::uint8_t>(MsgKind::Ctrl))) {
+      skip_byte(FrameDefect::BadMagic, "no frame header at the read position");
+      continue;
+    }
+    if (avail < kFrameHeaderBytes + body_len) return false;  // incomplete: wait
+    try {
+      out = decode_frame(p, kFrameHeaderBytes + body_len);
+    } catch (const FrameError& e) {
+      skip_byte(e.defect, e.what());
+      continue;
+    }
+    pos_ += kFrameHeaderBytes + body_len;
+    scanning_ = false;
+    return true;
   }
-  if (avail < kFrameHeaderBytes + body_len) return false;
-  const std::uint8_t* frame = buf_.data() + pos_;
-  pos_ += kFrameHeaderBytes + body_len;  // consumed even when corrupt
-  out = decode_frame(frame, kFrameHeaderBytes + body_len);
-  return true;
 }
 
 }  // namespace ph::net

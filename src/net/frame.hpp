@@ -67,27 +67,35 @@ inline DataMsg decode_frame(const std::vector<std::uint8_t>& buf) {
   return decode_frame(buf.data(), buf.size());
 }
 
-/// Incremental reassembler for a byte stream (TCP): feed arbitrary chunks,
-/// take complete frames out. Corrupt frames surface as FrameError from
-/// `next()`; the reader stays usable (it has already consumed the bad
-/// frame's bytes — stream framing itself is intact because the length
-/// prefix is validated before the CRC).
+/// Incremental reassembler for a byte stream (TCP, shm byte rings): feed
+/// arbitrary chunks, take complete frames out. The first defect at any
+/// stream position surfaces as one FrameError from `next()`; the reader
+/// then *resynchronises* — it slides forward byte by byte until a
+/// plausible frame header (length in range, magic/version/kind prefix)
+/// lines up and the CRC verifies — so valid frames following corrupt
+/// bytes are recovered no matter how the reads were chunked. A killed
+/// writer's torn tail is therefore just dropped bytes, not a dead stream.
 class FrameReader {
  public:
   void feed(const std::uint8_t* data, std::size_t n) {
     buf_.insert(buf_.end(), data, data + n);
   }
 
-  /// Extracts the next complete frame, if any. Throws FrameError for a
-  /// complete-but-corrupt frame (after consuming it).
+  /// Extracts the next complete frame, if any. Throws FrameError on the
+  /// first defect of a corrupt region (later scan steps are silent).
   bool next(DataMsg& out);
 
   /// Unconsumed bytes awaiting a complete frame (0 between messages).
   std::size_t buffered() const { return buf_.size() - pos_; }
 
+  /// Bytes skipped while resynchronising past corrupt regions.
+  std::uint64_t resynced() const { return resynced_; }
+
  private:
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  // consumed prefix (compacted lazily)
+  bool scanning_ = false;  // inside a corrupt region (defect already reported)
+  std::uint64_t resynced_ = 0;
 };
 
 }  // namespace ph::net

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "net/frame.hpp"
+#include "net/proc.hpp"
 #include "net/shm.hpp"
 #include "net/tcp.hpp"
 
@@ -49,7 +50,11 @@ std::optional<DataMsg> Transport::poll(std::uint32_t pe) {
   while (true) {
     std::optional<DataMsg> m = poll_raw(pe);
     if (!m) return std::nullopt;
-    if (injector_ != nullptr && injector_->plan().lossy()) {
+    // The supervision control plane (heartbeats, restart/shutdown ctrl) is
+    // exempt from injection: crash detection must not be blinded by the
+    // very chaos plan it is supervising.
+    const bool control = m->kind >= MsgKind::Heartbeat;
+    if (!control && injector_ != nullptr && injector_->plan().lossy()) {
       // The delivery-side lossy link: same counter-based draws, same
       // (channel, cseq, attempt) identity as the simulated middleware.
       const bool is_ack = m->kind == MsgKind::Ack;
@@ -89,9 +94,7 @@ bool Transport::idle() const {
   // raises `pending` before lowering `in_flight`, so reading in-flight
   // first can only err towards "busy".
   if (in_flight_.load(std::memory_order_acquire) != 0) return false;
-  for (const auto& rx : rx_)
-    if (rx->pending.load(std::memory_order_acquire) != 0) return false;
-  return true;
+  return holdback_empty();
 }
 
 std::unique_ptr<Transport> make_transport(EdenTransportKind kind, std::uint32_t n_pes,
@@ -101,6 +104,8 @@ std::unique_ptr<Transport> make_transport(EdenTransportKind kind, std::uint32_t 
       return std::make_unique<ShmTransport>(n_pes, injector);
     case EdenTransportKind::Tcp:
       return std::make_unique<TcpTransport>(n_pes, injector);
+    case EdenTransportKind::Proc:
+      return std::make_unique<ProcTransport>(n_pes, injector);
     case EdenTransportKind::Sim:
       break;
   }

@@ -79,7 +79,10 @@ class Transport {
   /// delivered, dropped or failed its CRC, and no delayed/duplicated
   /// copy is still waiting in a hold-back buffer. Safe from any thread;
   /// the quiescence detector requires it before declaring deadlock.
-  bool idle() const;
+  /// Virtual because the per-process in-flight counter is meaningless for
+  /// a transport whose endpoints live in different address spaces —
+  /// ProcTransport substitutes ring/inbox emptiness.
+  virtual bool idle() const;
 
   TransportStats& stats() { return stats_; }
   const TransportStats& stats() const { return stats_; }
@@ -93,6 +96,14 @@ class Transport {
   /// For implementations that lose a frame below the filter (CRC reject):
   /// keeps the in-flight accounting exact so idle() still converges.
   void note_lost() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// True when no delayed/duplicated hold-back copy is pending on any
+  /// endpoint (for idle() overrides that replace the in-flight check).
+  bool holdback_empty() const {
+    for (const auto& rx : rx_)
+      if (rx->pending.load(std::memory_order_acquire) != 0) return false;
+    return true;
+  }
 
   std::atomic<bool> stopping_{false};
 

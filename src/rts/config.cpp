@@ -7,6 +7,7 @@ const char* eden_transport_name(EdenTransportKind k) {
     case EdenTransportKind::Sim: return "sim";
     case EdenTransportKind::Shm: return "shm";
     case EdenTransportKind::Tcp: return "tcp";
+    case EdenTransportKind::Proc: return "proc";
   }
   return "?";
 }

@@ -53,8 +53,10 @@ enum class SparkRunPolicy : std::uint8_t {
 /// Which message-passing layer carries an Eden system's traffic
 /// (--eden-transport). Sim is the virtual-time middleware inside
 /// EdenSystem; Shm and Tcp are real transports in src/net driven by
-/// EdenThreadedDriver against wall-clock time.
-enum class EdenTransportKind : std::uint8_t { Sim, Shm, Tcp };
+/// EdenThreadedDriver against wall-clock time. Proc runs each PE as a
+/// forked worker *process* over shared-memory frame rings (net/proc),
+/// driven by EdenProcDriver with wall-clock crash supervision.
+enum class EdenTransportKind : std::uint8_t { Sim, Shm, Tcp, Proc };
 
 const char* eden_transport_name(EdenTransportKind k);
 

@@ -25,9 +25,21 @@ double uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-enum Stream : std::uint64_t { kDrop = 1, kDup = 2, kDelay = 3, kAckDrop = 4 };
+enum Stream : std::uint64_t { kDrop = 1, kDup = 2, kDelay = 3, kAckDrop = 4, kJitter = 5 };
 
 }  // namespace
+
+std::uint64_t jittered_timeout(const FaultPlan& plan, std::uint64_t timeout,
+                               std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  if (plan.retry_jitter <= 0.0 || timeout == 0) return timeout;
+  // Map the deterministic draw into [1 - j, 1 + j]: same identity, same
+  // offset, so fault schedules stay replayable experiments.
+  const double u = uniform(plan.seed, kJitter, a, b, c);
+  const double factor = 1.0 + plan.retry_jitter * (2.0 * u - 1.0);
+  const auto out =
+      static_cast<std::uint64_t>(static_cast<double>(timeout) * factor);
+  return out == 0 ? 1 : out;
+}
 
 bool FaultInjector::chance(double p, std::uint64_t stream, std::uint64_t a,
                            std::uint64_t b, std::uint64_t c) const {
@@ -142,6 +154,13 @@ FaultPlan parse_fault_flags(const std::string& flags, FaultPlan base) {
       case 'm': p.retry_max = static_cast<std::uint32_t>(parse_u64(arg, tok)); break;
       case 'h': p.heartbeat_interval = parse_u64(arg, tok); break;
       case 'H': p.heartbeat_timeout = parse_u64(arg, tok); break;
+      case 'C': p.retry_cap = parse_u64(arg, tok); break;
+      case 'J': p.retry_jitter = pct(arg); break;
+      case 'R': p.restart_max = static_cast<std::uint32_t>(parse_u64(arg, tok)); break;
+      case 'S':
+        if (!arg.empty()) throw std::invalid_argument("-FS takes no argument: " + tok);
+        p.supervise = true;
+        break;
       default:
         throw std::invalid_argument("unknown fault flag: " + tok);
     }
@@ -163,7 +182,11 @@ std::string show_fault_flags(const FaultPlan& p) {
   }
   out << " -Fr" << p.retry_timeout << " -Fb" << pct(p.retry_backoff);
   if (p.retry_max != 0) out << " -Fm" << p.retry_max;
+  if (p.retry_cap != 0) out << " -FC" << p.retry_cap;
+  if (p.retry_jitter > 0) out << " -FJ" << pct(p.retry_jitter);
   out << " -Fh" << p.heartbeat_interval << " -FH" << p.heartbeat_timeout;
+  if (p.restart_max != FaultPlan{}.restart_max) out << " -FR" << p.restart_max;
+  if (p.supervise) out << " -FS";
   return out.str();
 }
 

@@ -49,13 +49,28 @@ struct FaultPlan {
   std::uint64_t retry_timeout = 2500;  // virtual time before first retransmit
   double retry_backoff = 2.0;          // timeout multiplier per attempt
   std::uint32_t retry_max = 0;         // max send attempts (0 = unbounded)
+  std::uint64_t retry_cap = 0;         // backoff ceiling per attempt (0 = uncapped)
+  double retry_jitter = 0.0;           // ± fraction of the timeout, drawn per deadline
   std::uint64_t heartbeat_interval = 500;   // supervisor check period
   std::uint64_t heartbeat_timeout = 4000;   // silence before a PE is declared dead
+  std::uint32_t restart_max = 5;       // per-PE respawn budget (process-per-PE mode)
+  // Process-per-PE crash supervision without any injected misbehaviour
+  // (heartbeats, waitpid reaping, restart + replay on real PE death).
+  bool supervise = false;
 
   bool lossy() const { return drop > 0.0 || duplicate > 0.0 || delay > 0.0; }
   bool crashes() const { return crash_pe != kNoPe; }
-  bool enabled() const { return lossy() || crashes() || alloc_fail_at != 0; }
+  bool enabled() const {
+    return lossy() || crashes() || alloc_fail_at != 0 || supervise;
+  }
 };
+
+/// Deterministic ± jitter applied to a retry deadline: the same identity
+/// (a, b, c — e.g. src PE, cseq, attempt) always draws the same offset,
+/// so schedules stay reproducible. Returns `timeout` unchanged when the
+/// plan has no jitter; never returns 0.
+std::uint64_t jittered_timeout(const FaultPlan& plan, std::uint64_t timeout,
+                               std::uint64_t a, std::uint64_t b, std::uint64_t c);
 
 /// Parses fault flags (whitespace-separated) on top of `base`:
 ///   -Fs<seed>       RNG seed               -Fd<pct> drop probability (%)
@@ -64,7 +79,9 @@ struct FaultPlan {
 ///   -Fa<n>[:c[:t]]  fail allocations n..n+c-1 (of tso t)
 ///   -Fr<t>          retry timeout          -Fb<x100> backoff ×100 (-Fb200 = 2.0)
 ///   -Fm<n>          max send attempts      -Fh<t> heartbeat interval
-///   -FH<t>          heartbeat timeout
+///   -FH<t>          heartbeat timeout      -FC<t> backoff ceiling (0 = uncapped)
+///   -FJ<pct>        retry jitter (± % of the timeout)
+///   -FR<n>          per-PE restart budget  -FS enable crash supervision
 FaultPlan parse_fault_flags(const std::string& flags, FaultPlan base = FaultPlan{});
 std::string show_fault_flags(const FaultPlan& plan);
 
@@ -81,6 +98,8 @@ struct FaultStats {
   std::uint64_t lost_processes = 0;  // crashed processes that could not be rebuilt
   std::uint64_t heap_overflows = 0;  // TSOs unwound by HeapOverflow
   std::uint64_t alloc_faults = 0;    // allocations failed by injection
+  std::uint64_t detect_us = 0;       // kill → supervisor-noticed latency (summed)
+  std::uint64_t replay_us = 0;       // wall time survivors spent replaying logs
 };
 
 /// Stateful face of a FaultPlan: answers "does this event misbehave?"

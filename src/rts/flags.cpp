@@ -58,9 +58,10 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
       if (name == "sim") cfg.eden_transport = EdenTransportKind::Sim;
       else if (name == "shm") cfg.eden_transport = EdenTransportKind::Shm;
       else if (name == "tcp") cfg.eden_transport = EdenTransportKind::Tcp;
+      else if (name == "proc") cfg.eden_transport = EdenTransportKind::Proc;
       else
         throw FlagError("unknown Eden transport '" + name +
-                        "' in " + f + " (expected sim, shm or tcp)");
+                        "' in " + f + " (expected sim, shm, tcp or proc)");
       continue;
     }
     if (f == "--eden-rt") {

@@ -1,0 +1,270 @@
+// Chaos suite: EdenProcDriver must survive `kill -9`. Every test here
+// runs a real process-per-PE deployment (fork()ed workers over shm frame
+// rings or a TCP mesh), lets the fault plan SIGKILL a non-root PE in the
+// middle of the computation, and demands the final value equal the
+// crash-free sim oracle — purity makes the respawned PE's recomputation
+// and the survivors' send-log replay indistinguishable from a run where
+// nothing died. The suite also pins the two failure-detection paths
+// (waitpid reap, heartbeat silence via SIGSTOP) and the graceful
+// degradation contract (budget exhaustion → structured RtsInternalError,
+// never a hang — every test carries an explicit ctest TIMEOUT).
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "eden/eden_proc.hpp"
+#include "progs/apsp.hpp"
+#include "progs/matmul.hpp"
+#include "progs/sumeuler.hpp"
+#include "rig.hpp"
+#include "rts/flags.hpp"
+#include "skel/skeletons.hpp"
+
+namespace ph::test {
+namespace {
+
+struct ProcRig {
+  Program prog;
+  std::unique_ptr<EdenSystem> sys;
+
+  ProcRig(std::uint32_t n_pes, FaultPlan fault = FaultPlan{},
+          EdenTransportKind transport = EdenTransportKind::Proc) {
+    Builder b(prog);
+    build_prelude(b);
+    build_sumeuler(b);
+    build_matmul(b);
+    build_apsp(b);
+    prog.validate();
+    EdenConfig cfg;
+    cfg.n_pes = n_pes;
+    cfg.n_cores = n_pes;
+    cfg.pe_rts = config_worksteal_eagerbh(1);
+    cfg.pe_rts.heap.nursery_words = 512 * 1024;
+    cfg.transport = transport;
+    cfg.fault = fault;
+    sys = std::make_unique<EdenSystem>(prog, cfg);
+  }
+
+  EdenRtResult run_root(const std::string& g, const std::vector<Obj*>& args,
+                        net::ProcWire wire, int crash_signal = SIGKILL,
+                        TraceLog* trace = nullptr) {
+    Tso* root = skel::root_apply(*sys, prog.find(g), args);
+    EdenProcDriver d(*sys, trace, wire);
+    d.set_crash_signal(crash_signal);
+    return d.run(root);
+  }
+};
+
+// 1..200 in 20 chunks: enough work that a 10-40ms crash offset lands
+// squarely mid-computation, and every non-root PE holds several tasks.
+std::vector<Obj*> sumeuler_tasks(EdenSystem& sys) {
+  Machine& pe0 = sys.pe(0);
+  std::vector<Obj*> chunks;
+  for (std::int64_t lo = 1; lo <= 200; lo += 10) {
+    std::vector<std::int64_t> chunk;
+    for (std::int64_t k = lo; k < lo + 10; ++k) chunk.push_back(k);
+    chunks.push_back(make_int_list(pe0, 0, chunk));
+  }
+  return chunks;
+}
+
+// The crash-free oracle, computed by the deterministic sim driver over
+// the identical topology.
+std::int64_t sim_sumeuler_oracle() {
+  ProcRig r(4, FaultPlan{}, EdenTransportKind::Sim);
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       sumeuler_tasks(*r.sys));
+  Tso* root = skel::root_apply(*r.sys, r.prog.find("sum"), {partials});
+  EdenSimDriver d(*r.sys);
+  EdenSimResult res = d.run(root);
+  EXPECT_FALSE(res.deadlocked);
+  return read_int(res.value);
+}
+
+class ProcRt : public ::testing::TestWithParam<net::ProcWire> {};
+
+TEST_P(ProcRt, SumEulerMatchesSimOracleWithoutFaults) {
+  const std::int64_t oracle = sim_sumeuler_oracle();
+  ProcRig r(4);
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       sumeuler_tasks(*r.sys));
+  EdenRtResult res = r.run_root("sum", {partials}, GetParam());
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), oracle);
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(200));
+  EXPECT_GT(res.messages, 0u);
+  EXPECT_EQ(res.crc_errors, 0u);
+  EXPECT_EQ(res.faults.crashes, 0u);
+}
+
+TEST_P(ProcRt, KillDashNineNonRootPeMidComputationRecovers) {
+  // The headline chaos test: a non-root PE is SIGKILLed for real at a
+  // seed-randomized wall-clock offset; the respawned incarnation
+  // recomputes, the survivors replay, and the value is exact.
+  const std::int64_t oracle = sim_sumeuler_oracle();
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.crash_pe = 1 + static_cast<std::uint32_t>(seed % 3);  // PEs 1..3
+    plan.crash_at = 10000 + (seed * 7919) % 30000;             // 10-40ms in
+    plan.restart_max = 5;
+    ProcRig r(4, plan);
+    Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                         sumeuler_tasks(*r.sys));
+    EdenRtResult res = r.run_root("sum", {partials}, GetParam());
+    ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+    EXPECT_EQ(read_int(res.value), oracle) << "seed " << seed;
+    EXPECT_EQ(read_int(res.value), sum_euler_reference(200));
+    ASSERT_EQ(res.faults.crashes, 1u) << "seed " << seed
+        << ": the kill never fired (crash_at after completion?)";
+    EXPECT_GE(res.faults.restarts, 1u) << "seed " << seed;
+    EXPECT_GT(res.faults.detect_us, 0u) << "seed " << seed;
+  }
+}
+
+TEST_P(ProcRt, CrashComposesWithALossyWire) {
+  // kill -9 on top of drop/duplicate/delay: the retransmit protocol and
+  // the crash supervision must not tread on each other.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop = 0.1;
+  plan.duplicate = 0.1;
+  plan.delay = 0.1;
+  plan.delay_extra = 500;
+  plan.retry_timeout = 2000;
+  plan.crash_pe = 2;
+  plan.crash_at = 15000;
+  ProcRig r(4, plan);
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       sumeuler_tasks(*r.sys));
+  EdenRtResult res = r.run_root("sum", {partials}, GetParam());
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(200));
+}
+
+TEST(ProcChaos, RingApspSurvivesACrash) {
+  const std::size_t n = 12;
+  const std::uint32_t p = 4;
+  const std::size_t nb = n / p;
+  DistMat dm = random_graph(n, 77);
+  FaultPlan plan;
+  plan.crash_pe = 2;
+  plan.crash_at = 6000;  // early enough to beat even a fast ring
+  ProcRig r(p + 1, plan);
+  Machine& pe0 = r.sys->pe(0);
+  std::vector<Obj*> bundles;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    DistMat bundle(dm.begin() + static_cast<std::ptrdiff_t>(i * nb),
+                   dm.begin() + static_cast<std::ptrdiff_t>((i + 1) * nb));
+    bundles.push_back(make_int_matrix(pe0, 0, bundle));
+  }
+  Obj* outs = skel::ring(*r.sys, r.prog.find("apspRingNode"), bundles,
+                         {static_cast<std::int64_t>(p), static_cast<std::int64_t>(nb)});
+  EdenRtResult res = r.run_root("apspCollect", {outs}, net::ProcWire::Shm);
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), apsp_checksum(floyd_warshall(dm)));
+  ASSERT_EQ(res.faults.crashes, 1u) << "the kill never fired";
+  // The death was at least detected; the run may legally finish while
+  // the respawn is still pending if the victim's output already shipped.
+  EXPECT_GT(res.faults.detect_us, 0u);
+}
+
+TEST(ProcChaos, TorusCannonSurvivesACrashOverTcp) {
+  const std::uint32_t q = 2;
+  // 16x16 (8x8 blocks per node) keeps every node busy well past the
+  // crash offset — an 8x8 input can beat the kill to the finish line.
+  Mat a = random_matrix(16, 21), bm = random_matrix(16, 22);
+  FaultPlan plan;
+  plan.crash_pe = 1;
+  plan.crash_at = 6000;
+  ProcRig r(q * q + 1, plan);
+  std::vector<Obj*> inputs = make_cannon_inputs(r.sys->pe(0), a, bm, q);
+  Obj* blocks = skel::torus(*r.sys, r.prog.find("cannonNode"), q, inputs, {q});
+  EdenRtResult res = r.run_root("sumBlocks", {blocks}, net::ProcWire::Tcp);
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), mat_checksum(matmul_reference(a, bm)));
+  ASSERT_EQ(res.faults.crashes, 1u) << "the kill never fired";
+  EXPECT_GT(res.faults.detect_us, 0u);
+}
+
+TEST(ProcChaos, HeartbeatSilenceDetectsAWedgedPe) {
+  // SIGSTOP instead of SIGKILL: the victim never becomes reapable, so
+  // only the heartbeat-silence detector can notice. The supervisor must
+  // kill the zombie-in-life for real and recover exactly as for a crash.
+  FaultPlan plan;
+  plan.crash_pe = 1;
+  plan.crash_at = 12000;
+  ProcRig r(4, plan);
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       sumeuler_tasks(*r.sys));
+  EdenRtResult res = r.run_root("sum", {partials}, net::ProcWire::Shm, SIGSTOP);
+  ASSERT_FALSE(res.deadlocked) << res.diagnosis.describe();
+  EXPECT_EQ(read_int(res.value), sum_euler_reference(200));
+  ASSERT_EQ(res.faults.crashes, 1u);
+  EXPECT_GE(res.faults.restarts, 1u);
+  // Detection had to ride the silence timeout (50ms floor), measured
+  // from the kill — the victim's last beat lands up to an interval plus
+  // a supervisor tick earlier, so the latency sits just under the floor.
+  // Reap-path detection would clock in around a single 500µs tick.
+  EXPECT_GE(res.faults.detect_us, 30000u);
+}
+
+TEST(ProcChaos, RestartBudgetExhaustionFailsStructuredNotHung) {
+  // restart_max=0: the first death exhausts the budget. The run must
+  // unwind with a structured error naming the lost PE — not wedge on the
+  // dead PE's unacked counts.
+  FaultPlan plan;
+  plan.crash_pe = 2;
+  plan.crash_at = 5000;  // sumEuler(200) runs tens of ms: the kill lands
+  plan.restart_max = 0;
+  ProcRig r(4, plan);
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       sumeuler_tasks(*r.sys));
+  bool threw = false;
+  try {
+    r.run_root("sum", {partials}, net::ProcWire::Shm);
+  } catch (const RtsInternalError& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("pe 2 lost"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("restart budget exhausted"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(threw) << "budget exhaustion surfaced no error";
+}
+
+INSTANTIATE_TEST_SUITE_P(Wires, ProcRt,
+                         ::testing::Values(net::ProcWire::Shm, net::ProcWire::Tcp),
+                         [](const ::testing::TestParamInfo<net::ProcWire>& i) {
+                           return i.param == net::ProcWire::Shm ? "shm" : "tcp";
+                         });
+
+TEST(ProcGuards, ProcDriverRejectsNonProcSystems) {
+  ProcRig thr(2, FaultPlan{}, EdenTransportKind::Shm);
+  EXPECT_THROW(EdenProcDriver d(*thr.sys), ProgramError);
+}
+
+TEST(ProcGuards, ProcSystemsForceReliableChannelsAndSequentialGc) {
+  // The supervisor replays send logs, so the reliable protocol must be on
+  // even without a fault plan; and a parallel-GC worker team started
+  // before fork() would not survive into the children.
+  ProcRig r(2);
+  EXPECT_TRUE(r.sys->realtime());
+  EXPECT_EQ(r.sys->config().pe_rts.gc_threads, 1u);
+}
+
+TEST(ProcGuards, RtsFlagsSelectProcTransport) {
+  Program prog;
+  Builder b(prog);
+  build_prelude(b);
+  prog.validate();
+  EdenConfig cfg;
+  cfg.n_pes = 2;
+  cfg.pe_rts = parse_rts_flags("--eden-transport=proc", config_worksteal_eagerbh(1));
+  EdenSystem sys(prog, cfg);
+  EXPECT_TRUE(sys.realtime());
+  EXPECT_EQ(sys.config().transport, EdenTransportKind::Proc);
+}
+
+}  // namespace
+}  // namespace ph::test

@@ -228,14 +228,23 @@ TEST(EdenRtGuards, DriversRejectMismatchedSystems) {
 }
 
 TEST(EdenRtGuards, SimOnlyFaultPlansAreRefused) {
+  // Crash plans need a driver that can actually kill a PE: refused on the
+  // thread-per-PE transports, accepted on proc (EdenProcDriver executes
+  // them as real SIGKILLs) — the old blanket "crash plans are sim-only"
+  // rejection must stay gone.
   FaultPlan crash;
   crash.crash_pe = 1;
   crash.crash_at = 1000;
   EXPECT_THROW(RtRig(2, EdenTransportKind::Shm, crash), ProgramError);
+  EXPECT_THROW(RtRig(2, EdenTransportKind::Tcp, crash), ProgramError);
+  EXPECT_NO_THROW(RtRig(2, EdenTransportKind::Proc, crash));
 
+  // Alloc-fault plans stay sim-only everywhere (the injector's allocation
+  // counter is shared state).
   FaultPlan alloc;
   alloc.alloc_fail_at = 100;
   EXPECT_THROW(RtRig(2, EdenTransportKind::Tcp, alloc), ProgramError);
+  EXPECT_THROW(RtRig(2, EdenTransportKind::Proc, alloc), ProgramError);
 }
 
 TEST(EdenRtGuards, RtsFlagsSelectTheTransport) {

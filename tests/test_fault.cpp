@@ -49,6 +49,39 @@ TEST(FaultFlags, ShowParseRoundTrips) {
   EXPECT_EQ(show_fault_flags(q), show_fault_flags(p));
 }
 
+TEST(FaultFlags, ChaosFlagsParseAndRoundTrip) {
+  // The supervision knobs: retry cap (-FC), retry jitter (-FJ), restart
+  // budget (-FR) and the supervise toggle (-FS).
+  FaultPlan p = parse_fault_flags("-FC4000 -FJ25 -FR3 -FS");
+  EXPECT_EQ(p.retry_cap, 4000u);
+  EXPECT_DOUBLE_EQ(p.retry_jitter, 0.25);
+  EXPECT_EQ(p.restart_max, 3u);
+  EXPECT_TRUE(p.supervise);
+  FaultPlan q = parse_fault_flags(show_fault_flags(p));
+  EXPECT_EQ(q.retry_cap, 4000u);
+  EXPECT_DOUBLE_EQ(q.retry_jitter, 0.25);
+  EXPECT_EQ(q.restart_max, 3u);
+  EXPECT_TRUE(q.supervise);
+  EXPECT_EQ(show_fault_flags(q), show_fault_flags(p));
+
+  // A full chaos plan — crash entry plus supervision knobs — survives the
+  // show/parse round trip too.
+  FaultPlan c = parse_fault_flags("-Fc2@15000 -FR5 -FC2500 -FJ10 -Fh500 -FH60000");
+  EXPECT_TRUE(c.crashes());
+  EXPECT_EQ(c.crash_pe, 2u);
+  EXPECT_EQ(c.crash_at, 15000u);
+  FaultPlan c2 = parse_fault_flags(show_fault_flags(c));
+  EXPECT_EQ(show_fault_flags(c2), show_fault_flags(c));
+  EXPECT_EQ(c2.restart_max, 5u);
+  EXPECT_EQ(c2.heartbeat_timeout, 60000u);
+
+  // Defaults stay implicit in show (no noise for non-chaos plans).
+  const std::string plain = show_fault_flags(parse_fault_flags("-Fd10"));
+  EXPECT_EQ(plain.find("-FC"), std::string::npos) << plain;
+  EXPECT_EQ(plain.find("-FJ"), std::string::npos) << plain;
+  EXPECT_EQ(plain.find("-FS"), std::string::npos) << plain;
+}
+
 TEST(FaultFlags, RejectsMalformedFlags) {
   EXPECT_THROW(parse_fault_flags("-Fz1"), std::invalid_argument);
   EXPECT_THROW(parse_fault_flags("-Fd"), std::invalid_argument);

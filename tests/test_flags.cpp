@@ -102,6 +102,8 @@ TEST(Flags, EdenTransportFlag) {
             EdenTransportKind::Shm);
   EXPECT_EQ(parse_rts_flags("-N4 --eden-transport=tcp -qs").eden_transport,
             EdenTransportKind::Tcp);
+  EXPECT_EQ(parse_rts_flags("--eden-transport=proc").eden_transport,
+            EdenTransportKind::Proc);
   // Unknown transport names are a structured error, not a silent default.
   EXPECT_THROW(parse_rts_flags("--eden-transport=pvm"), FlagError);
   EXPECT_THROW(parse_rts_flags("--eden-transport="), FlagError);
@@ -113,6 +115,10 @@ TEST(Flags, EdenTransportFlag) {
   EXPECT_EQ(parse_rts_flags(shown).eden_transport, EdenTransportKind::Tcp);
   EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2")).find("--eden-transport"),
             std::string::npos);
+  // The process-per-PE transport round-trips too.
+  const std::string proc_shown = show_rts_flags(parse_rts_flags("--eden-transport=proc"));
+  EXPECT_NE(proc_shown.find("--eden-transport=proc"), std::string::npos) << proc_shown;
+  EXPECT_EQ(parse_rts_flags(proc_shown).eden_transport, EdenTransportKind::Proc);
 }
 
 TEST(Flags, EdenRtFlag) {

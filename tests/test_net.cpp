@@ -10,9 +10,11 @@
 
 #include "net/channel.hpp"
 #include "net/frame.hpp"
+#include "net/proc.hpp"
 #include "net/shm.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
+#include "rts/fault.hpp"
 
 namespace ph::net {
 namespace {
@@ -207,12 +209,170 @@ TEST(ChannelEndpoint, RetriesWithBackoff) {
   EXPECT_FALSE(ep.next_retry_at(plan, keep_all).has_value());
 }
 
+TEST(ChannelEndpoint, BackoffHonoursTheConfiguredCap) {
+  ChannelEndpoint ep;
+  FaultPlan plan;
+  plan.retry_timeout = 100;
+  plan.retry_backoff = 2.0;
+  plan.retry_cap = 300;  // the doubling must flatline here
+  FaultStats fs;
+  ep.log_send(MsgKind::Value, 0, /*now=*/0, plan.retry_timeout);
+  const auto keep_all = [](const SentRecord&) { return false; };
+  auto fire = [](SentRecord&, std::uint32_t) {};
+
+  ep.service_retries(100, plan, fs, keep_all, fire);
+  EXPECT_EQ(*ep.next_retry_at(plan, keep_all), 300u);  // 100 + 2*100
+  ep.service_retries(300, plan, fs, keep_all, fire);
+  EXPECT_EQ(*ep.next_retry_at(plan, keep_all), 600u);  // 300 + cap(400 -> 300)
+  ep.service_retries(600, plan, fs, keep_all, fire);
+  EXPECT_EQ(*ep.next_retry_at(plan, keep_all), 900u);  // pinned at the cap
+  EXPECT_EQ(fs.retries, 3u);
+}
+
+TEST(ChannelEndpoint, JitteredRetriesStayBoundedAndDeterministic) {
+  // After a PE restart every survivor replays its whole log at once;
+  // jitter is what keeps their backoff schedules from staying
+  // phase-locked. It must stay inside [1-j, 1+j] and remain a pure
+  // function of (seed, identity) so fault runs replay exactly.
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.retry_timeout = 1000;
+  plan.retry_backoff = 1.0;
+  plan.retry_jitter = 0.25;
+  bool spread = false;
+  for (std::uint64_t cseq = 0; cseq < 32; ++cseq) {
+    const std::uint64_t t = jittered_timeout(plan, 1000, /*src=*/0, cseq, 1);
+    EXPECT_GE(t, 750u);
+    EXPECT_LE(t, 1250u);
+    EXPECT_EQ(t, jittered_timeout(plan, 1000, 0, cseq, 1));  // replayable
+    if (t != 1000) spread = true;
+  }
+  EXPECT_TRUE(spread) << "jitter never moved a deadline";
+
+  // The endpoint schedules with exactly that helper.
+  ChannelEndpoint ep;
+  FaultStats fs;
+  ep.log_send(MsgKind::Value, 0, /*now=*/0, plan.retry_timeout);
+  ep.log_send(MsgKind::Value, 0, /*now=*/0, plan.retry_timeout);
+  const auto keep_all = [](const SentRecord&) { return false; };
+  auto fire = [](SentRecord&, std::uint32_t) {};
+  ep.service_retries(1000, plan, fs, keep_all, fire);
+  // log_send counts the initial transmission, so the first retransmission
+  // leaves each record at attempts=2 — the identity the jitter is keyed on.
+  const std::uint64_t want = 1000 + std::min(jittered_timeout(plan, 1000, 0, 0, 2),
+                                             jittered_timeout(plan, 1000, 0, 1, 2));
+  EXPECT_EQ(*ep.next_retry_at(plan, keep_all), want);
+}
+
+TEST(ChannelEndpoint, DefaultPlanKeepsTheLegacySchedule) {
+  // cap=0, jitter=0 must reproduce the pre-cap/jitter behaviour bit for
+  // bit — existing fault experiments may not shift.
+  FaultPlan plan;
+  plan.retry_timeout = 100;
+  plan.retry_backoff = 2.0;
+  EXPECT_EQ(jittered_timeout(plan, 12345, 1, 2, 3), 12345u);
+  ChannelEndpoint ep;
+  FaultStats fs;
+  ep.log_send(MsgKind::Value, 0, /*now=*/0, plan.retry_timeout);
+  const auto keep_all = [](const SentRecord&) { return false; };
+  auto fire = [](SentRecord&, std::uint32_t) {};
+  ep.service_retries(100, plan, fs, keep_all, fire);
+  ep.service_retries(300, plan, fs, keep_all, fire);
+  EXPECT_EQ(*ep.next_retry_at(plan, keep_all), 700u);  // 300 + 4*100, uncapped
+}
+
+// --- FrameReader resynchronisation -----------------------------------------
+
+/// Pumps the reader to exhaustion, counting (instead of propagating) the
+/// desync reports a corrupt stretch raises.
+std::size_t pump_reader(FrameReader& rd, std::vector<DataMsg>& got) {
+  std::size_t errors = 0;
+  DataMsg m;
+  for (;;) {
+    try {
+      if (!rd.next(m)) return errors;
+      got.push_back(m);
+    } catch (const FrameError&) {
+      errors++;
+    }
+  }
+}
+
+TEST(FrameReader, TornFrameTailResyncsToFollowingFrames) {
+  // A producer SIGKILLed mid-write leaves a torn frame prefix on the wire
+  // (the proc transport's TCP mesh sees exactly this). Every complete
+  // frame behind the tear must survive, for any cut point and any read
+  // chunking — the reader may consume corrupt bytes, never valid ones.
+  const std::vector<std::uint8_t> torn =
+      encode_frame(sample_msg(9, 0, {1, 2, 3, 4, 5}));
+  const std::vector<std::uint8_t> f1 = encode_frame(sample_msg(1, 1, {10}));
+  const std::vector<std::uint8_t> f2 = encode_frame(sample_msg(2, 2, {20, 21}));
+  for (const std::size_t cut :
+       {kFrameHeaderBytes + 1, torn.size() - 9, torn.size() - 1}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{7}, std::size_t{64},
+                                    std::size_t{4096}}) {
+      std::vector<std::uint8_t> wire(torn.begin(),
+                                     torn.begin() + static_cast<std::ptrdiff_t>(cut));
+      wire.insert(wire.end(), f1.begin(), f1.end());
+      wire.insert(wire.end(), f2.begin(), f2.end());
+
+      FrameReader rd;
+      std::vector<DataMsg> got;
+      std::size_t errors = 0;
+      for (std::size_t off = 0; off < wire.size(); off += chunk) {
+        rd.feed(wire.data() + off, std::min(chunk, wire.size() - off));
+        errors += pump_reader(rd, got);
+      }
+      ASSERT_EQ(got.size(), 2u) << "cut=" << cut << " chunk=" << chunk;
+      EXPECT_EQ(got[0].channel, 1u);
+      EXPECT_EQ(got[1].channel, 2u);
+      EXPECT_EQ(errors, 1u) << "one desync report per corrupt stretch";
+      EXPECT_GT(rd.resynced(), 0u);
+    }
+  }
+}
+
+TEST(FrameReader, GarbageBetweenFramesIsSkippedWithoutLoss) {
+  // Corrupt stretches interleaved with valid frames, fed byte by byte:
+  // the plausibility screen (length range + magic/version/kind probe)
+  // must slide past the garbage without locking onto a phantom frame and
+  // without dropping any of the real ones.
+  const std::vector<std::uint8_t> f1 = encode_frame(sample_msg(1, 0, {100}));
+  const std::vector<std::uint8_t> f2 = encode_frame(sample_msg(2, 1, {200, 201}));
+  const std::vector<std::uint8_t> f3 = encode_frame(sample_msg(3, 2, {}));
+  std::vector<std::uint8_t> junk(256);
+  for (std::size_t i = 0; i < junk.size(); ++i)
+    junk[i] = static_cast<std::uint8_t>(i * 37 + 11);
+
+  std::vector<std::uint8_t> wire = f1;
+  wire.insert(wire.end(), junk.begin(), junk.end());
+  wire.insert(wire.end(), f2.begin(), f2.end());
+  wire.insert(wire.end(), junk.begin(), junk.end());
+  wire.insert(wire.end(), f3.begin(), f3.end());
+
+  FrameReader rd;
+  std::vector<DataMsg> got;
+  std::size_t errors = 0;
+  for (std::uint8_t b : wire) {
+    rd.feed(&b, 1);
+    errors += pump_reader(rd, got);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].channel, 1u);
+  EXPECT_EQ(got[1].channel, 2u);
+  EXPECT_EQ(got[2].channel, 3u);
+  EXPECT_EQ(errors, 2u);  // one report per garbage stretch
+  EXPECT_GE(rd.resynced(), 2u * junk.size());
+}
+
 // --- transports ------------------------------------------------------------
 
 TEST(MakeTransport, SimHasNoTransportObject) {
   EXPECT_THROW(make_transport(EdenTransportKind::Sim, 2), std::invalid_argument);
   EXPECT_STREQ(make_transport(EdenTransportKind::Shm, 2)->name(), "shm");
   EXPECT_STREQ(make_transport(EdenTransportKind::Tcp, 2)->name(), "tcp");
+  EXPECT_STREQ(make_transport(EdenTransportKind::Proc, 2)->name(), "proc");
 }
 
 void transport_delivers(Transport& t) {
@@ -297,6 +457,105 @@ TEST(TcpTransport, ConcurrentProducersKeepFifoUnderBackpressure) {
   // A small out-buffer limit exercises the poller's partial writes.
   TcpTransport t(4, nullptr, /*out_buf_limit=*/4096);
   transport_mpsc_fifo(t, 3, 500);
+}
+
+TEST(ProcTransport, ShmRingsDeliverValuesAndSelfSends) {
+  // In one process the proc transport is just another transport: the
+  // fork-inherited rings work threaded too (that is also what proves the
+  // ring discipline independently of the supervisor machinery).
+  ProcTransport t(2);
+  transport_delivers(t);
+}
+
+TEST(ProcTransport, ShmRingsKeepFifoUnderBackpressure) {
+  // A 4KB ring forces the producers into the spin-for-space path.
+  ProcTransport t(4, nullptr, ProcWire::Shm, /*ring_bytes=*/4096);
+  transport_mpsc_fifo(t, 3, 500);
+}
+
+TEST(ProcTransport, TcpWireDeliversAcrossEndpoints) {
+  ProcTransport t(2, nullptr, ProcWire::Tcp);
+  t.start();
+  t.send(1, sample_msg(3, 0, {11, 22, 33}));
+  std::optional<DataMsg> m = poll_wait(t, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->packet.words, (std::vector<std::uint64_t>{11, 22, 33}));
+
+  DataMsg self = sample_msg(4, 1, {7});
+  self.src_pe = 1;
+  t.send(1, self);
+  m = poll_wait(t, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->channel, 4u);
+
+  // A payload far past the socket buffer. The wire is flushed by the
+  // owning endpoint's poll (in the real deployment every worker polls
+  // continuously), so pump both ends until the frame lands.
+  DataMsg big = sample_msg(5, 2, std::vector<std::uint64_t>(200000, 0xAB));
+  big.src_pe = 1;
+  t.send(0, big);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::optional<DataMsg> got;
+  while (!got && std::chrono::steady_clock::now() < deadline) {
+    EXPECT_FALSE(t.poll(1).has_value());  // also flushes endpoint 1's residue
+    got = t.poll(0);
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->packet.words.size(), 200000u);
+  EXPECT_EQ(got->packet.words[199999], 0xABu);
+  EXPECT_EQ(t.stats().crc_errors.load(), 0u);
+  t.stop();
+}
+
+TEST(ProcTransport, SupervisorEndpointIsRoutable) {
+  // n_pes worker endpoints plus one extra for the supervisor: control
+  // frames must flow PE -> supervisor and back without a channel table.
+  ProcTransport t(3);
+  t.start();
+  EXPECT_EQ(t.supervisor_endpoint(), 3u);
+  DataMsg hb = sample_msg(0, 0, {42});
+  hb.kind = MsgKind::Heartbeat;
+  hb.src_pe = 1;
+  t.send(t.supervisor_endpoint(), hb);
+  std::optional<DataMsg> m = poll_wait(t, t.supervisor_endpoint());
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, MsgKind::Heartbeat);
+  EXPECT_EQ(m->src_pe, 1u);
+
+  DataMsg ctrl = sample_msg(2, 0, {1, 2, 3});  // channel field = opcode
+  ctrl.kind = MsgKind::Ctrl;
+  ctrl.src_pe = t.supervisor_endpoint();
+  t.send(1, ctrl);
+  m = poll_wait(t, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, MsgKind::Ctrl);
+  EXPECT_EQ(m->channel, 2u);
+  t.stop();
+}
+
+TEST(Transport, ControlFramesAreExemptFromFaultInjection) {
+  // A plan that drops every data frame must not drop a single heartbeat:
+  // killing the failure detector's own signal with the injector would
+  // make every lossy chaos run a false positive.
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop = 1.0;
+  FaultInjector inj(plan);
+  ProcTransport t(2, &inj);
+  t.start();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    DataMsg hb = sample_msg(0, i, {i});
+    hb.kind = MsgKind::Heartbeat;
+    t.send(1, hb);
+  }
+  std::uint64_t beats = 0;
+  while (poll_wait(t, 1, /*timeout_ms=*/200)) beats++;
+  EXPECT_EQ(beats, 50u);
+  t.send(1, sample_msg(1, 0, {9}));  // a data frame, by contrast, dies
+  EXPECT_FALSE(poll_wait(t, 1, /*timeout_ms=*/200).has_value());
+  EXPECT_EQ(t.stats().dropped.load(), 1u);
+  t.stop();
 }
 
 TEST(Transport, FaultFilterDropsDuplicatesAndDelays) {

@@ -197,6 +197,90 @@ TEST_P(PackFuzz, BitFlipsAreRejected) {
   }
 }
 
+TEST_P(PackFuzz, ResyncRecoversValidFramesSplitAcrossReadBoundaries) {
+  // Chaos-wire fuzz: a stream of framed random graphs with corrupt
+  // stretches spliced in (torn frames, bit flips, raw garbage), delivered
+  // in random-size reads. The FrameReader must surface every intact frame
+  // — corruption may only ever cost the frames it actually touched.
+  Rig r;
+  Lcg rng{GetParam() * 7127 + 29};
+  std::vector<Obj*> protect;
+  RootGuard guard(*r.m, protect);
+
+  std::vector<std::uint8_t> wire;
+  std::vector<std::uint64_t> expect;  // channels of the intact frames, in order
+  std::size_t max_frame = 0;          // largest declared frame in the stream
+  for (int i = 0; i < 12; ++i) {
+    net::DataMsg m;
+    m.channel = 1000 + static_cast<std::uint64_t>(i);
+    m.kind = net::MsgKind::Value;
+    m.packet = pack_graph(random_graph_obj(*r.m, rng, protect));
+    m.cseq = static_cast<std::uint64_t>(i);
+    std::vector<std::uint8_t> f = net::encode_frame(m);
+    max_frame = std::max(max_frame, f.size());
+    switch (rng(4)) {
+      case 0: {  // torn tail: a producer died mid-write
+        const std::size_t keep =
+            net::kFrameHeaderBytes + rng(f.size() - net::kFrameHeaderBytes);
+        wire.insert(wire.end(), f.begin(),
+                    f.begin() + static_cast<std::ptrdiff_t>(keep));
+        break;
+      }
+      case 1: {  // in-place corruption: a payload bit flips
+        f[net::kFrameHeaderBytes + rng(f.size() - net::kFrameHeaderBytes)] ^=
+            static_cast<std::uint8_t>(1u << rng(8));
+        wire.insert(wire.end(), f.begin(), f.end());
+        break;
+      }
+      case 2: {  // raw garbage before an intact frame
+        for (std::uint64_t g = 0; g < 16 + rng(64); ++g)
+          wire.push_back(static_cast<std::uint8_t>(rng(256)));
+        wire.insert(wire.end(), f.begin(), f.end());
+        expect.push_back(m.channel);
+        break;
+      }
+      default:  // intact
+        wire.insert(wire.end(), f.begin(), f.end());
+        expect.push_back(m.channel);
+        break;
+    }
+  }
+  // Trailing traffic: a reader parked on a torn frame's declared length
+  // can only discover the tear once that many bytes have arrived (in the
+  // real system the retransmit stream provides them). Enough intact tail
+  // frames guarantee every tear is exposed before the stream ends, and
+  // every one of them must itself survive the recovery.
+  net::DataMsg last;
+  last.channel = 4242;
+  last.kind = net::MsgKind::Value;
+  last.packet = pack_graph(make_int(*r.m, 0, 7));
+  const std::vector<std::uint8_t> lf = net::encode_frame(last);
+  const std::size_t copies = max_frame / lf.size() + 2;
+  for (std::size_t c = 0; c < copies; ++c) {
+    wire.insert(wire.end(), lf.begin(), lf.end());
+    expect.push_back(4242);
+  }
+
+  net::FrameReader rd;
+  std::vector<std::uint64_t> got;
+  net::DataMsg out;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + rng(97), wire.size() - off);
+    rd.feed(wire.data() + off, n);
+    off += n;
+    for (;;) {
+      try {
+        if (!rd.next(out)) break;
+        got.push_back(out.channel);
+      } catch (const net::FrameError&) {
+        // desync report: the reliable channel would retransmit
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PackFuzz, ::testing::Range<std::uint64_t>(1, 13));
 
 TEST(Pack, DeepListDoesNotOverflow) {

@@ -4,7 +4,13 @@
 //   edentv <trace.csv> [--width W] [--from T0] [--to T1] [--summary]
 //
 // Renders the per-capability activity timeline (optionally zoomed into a
-// virtual-time window) and the utilisation table.
+// virtual-time window) and the utilisation table. `note,row,time,"text"`
+// annotation lines (fault events: kills, deaths, respawns, replays —
+// EdenProcDriver and the Eden middleware emit them) render as an overlay
+// lane under the timeline plus a chronological event list, so a chaos
+// run's crash/recovery choreography is visible in the same artefact as
+// the activity profile.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +38,33 @@ struct Row {
   std::uint64_t start, end;
   CapState state;
 };
+
+// One marker character per recovery event kind, for the overlay lane.
+char note_marker(const std::string& text) {
+  if (text.find("killed") != std::string::npos) return 'K';
+  if (text.find("died") != std::string::npos ||
+      text.find("crashed") != std::string::npos ||
+      text.find("lost") != std::string::npos)
+    return 'X';
+  if (text.find("respawn") != std::string::npos ||
+      text.find("restart") != std::string::npos)
+    return 'R';
+  if (text.find("replay") != std::string::npos) return 'r';
+  if (text.find("retransmit") != std::string::npos) return 't';
+  return '*';
+}
+
+// Unquotes the CSV text field of a note line: everything between the
+// first and last double quote, with `""` collapsed back to `"`.
+std::string unquote(const std::string& rest) {
+  const std::string::size_type a = rest.find('"');
+  const std::string::size_type b = rest.rfind('"');
+  if (a == std::string::npos || b <= a) return rest;
+  std::string text = rest.substr(a + 1, b - a - 1);
+  std::string::size_type pos = 0;
+  while ((pos = text.find("\"\"", pos)) != std::string::npos) text.erase(pos, 1), pos++;
+  return text;
+}
 
 }  // namespace
 
@@ -64,13 +97,28 @@ int main(int argc, char** argv) {
   std::string line;
   std::getline(in, line);  // header
   std::vector<Row> rows;
+  std::vector<Note> notes;
   std::uint32_t max_cap = 0;
   while (std::getline(in, line)) {
     std::istringstream ls(line);
     std::string cap, start, end, state;
     if (!std::getline(ls, cap, ',') || !std::getline(ls, start, ',') ||
-        !std::getline(ls, end, ',') || !std::getline(ls, state, ','))
+        !std::getline(ls, end, ','))
       continue;
+    if (cap == "note") {
+      // note,row,time,"text" — the text may itself contain commas.
+      Note n;
+      n.row = static_cast<std::uint32_t>(std::atoi(start.c_str()));
+      n.time = static_cast<std::uint64_t>(std::atoll(end.c_str()));
+      std::getline(ls, state);
+      n.text = unquote(state);
+      if (n.time < from || n.time >= to) continue;
+      n.time -= from;
+      max_cap = std::max(max_cap, n.row);
+      notes.push_back(std::move(n));
+      continue;
+    }
+    if (!std::getline(ls, state, ',')) continue;
     Row r{static_cast<std::uint32_t>(std::atoi(cap.c_str())),
           static_cast<std::uint64_t>(std::atoll(start.c_str())),
           static_cast<std::uint64_t>(std::atoll(end.c_str())), state_of(state)};
@@ -88,6 +136,28 @@ int main(int argc, char** argv) {
   TraceLog t(max_cap + 1);
   for (const Row& r : rows) t.record(r.cap, r.start, r.end, r.state);
   std::printf("%s", t.render_ascii(width).c_str());
+
+  if (!notes.empty()) {
+    // Overlay lane: same bucket scale as render_ascii, one lane per row
+    // that has events, then the chronological list.
+    const std::uint64_t total = t.end_time();
+    std::vector<std::string> lanes(max_cap + 1);
+    for (const Note& n : notes) {
+      if (lanes[n.row].empty()) lanes[n.row].assign(width, ' ');
+      std::uint64_t b = total > 0 ? n.time * width / total : 0;
+      if (b >= width) b = width - 1;
+      lanes[n.row][b] = note_marker(n.text);
+    }
+    for (std::uint32_t i = 0; i <= max_cap; ++i)
+      if (!lanes[i].empty()) std::printf(" ev%2u |%s|\n", i, lanes[i].c_str());
+    std::printf("       events: K=killed X=died R=respawn/restart r=replay "
+                "t=retransmit *=other\n");
+    std::stable_sort(notes.begin(), notes.end(),
+                     [](const Note& a, const Note& b) { return a.time < b.time; });
+    for (const Note& n : notes)
+      std::printf("  @%-10llu pe%-2u %s\n",
+                  static_cast<unsigned long long>(n.time), n.row, n.text.c_str());
+  }
   if (summary) std::printf("\n%s", t.summary().c_str());
   return 0;
 }

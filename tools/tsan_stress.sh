@@ -11,19 +11,25 @@
 #               ThreadedDriver hammer with frequent team collections);
 #   eden_rt   — EdenThreadedDriver over the real transports (shm mailboxes,
 #               framed TCP): OS-threaded PEs, lossy-plan retransmission and
-#               the freeze-based quiescence protocol.
+#               the freeze-based quiescence protocol;
+#   chaos     — EdenProcDriver kill -9 survival: forked workers really
+#               SIGKILLed mid-run, supervisor reap/heartbeat detection,
+#               restart + send-log replay (TSan sees only the supervisor
+#               process — the forked single-threaded workers re-exec
+#               nothing, so their side is exercised, not instrumented).
 # Each iteration exports a fresh PARHASK_SCHED_SEED, which the seeded tests
 # pick up to derive their delay decisions. A data race found by TSan is
 # therefore reproducible: re-export the seed printed on the failing line and
 # re-run the same ctest command. With --asan an AddressSanitizer pass over
 # the gc label follows the TSan sweep (one iteration — ASan failures are
 # not schedule-dependent): the block-structured to-space is exactly where a
-# bad carve would read out of bounds.
+# bad carve would read out of bounds, and the chaos label puts ASan inside
+# the supervisor's frame handling and the workers' replay paths.
 #
 # Usage: tools/tsan_stress.sh [iterations] [base-seed] [--asan]
 #   iterations  number of seeds to try        (default 20)
 #   base-seed   first seed; i-th run uses base-seed + i  (default 1)
-#   --asan      also build with PARHASK_SANITIZE=address and run `-L gc`
+#   --asan      also build with PARHASK_SANITIZE=address and run `-L 'gc|chaos'`
 set -euo pipefail
 
 run_asan=0
@@ -48,10 +54,10 @@ for ((i = 0; i < iterations; ++i)); do
   seed=$((base_seed + i))
   echo "=== tsan_stress: seed $seed ($((i + 1))/$iterations) ==="
   if ! (cd "$build_dir" && PARHASK_SCHED_SEED=$seed \
-        ctest -L 'schedtest|gc|eden_rt' --output-on-failure); then
+        ctest -L 'schedtest|gc|eden_rt|chaos' --output-on-failure); then
     echo "tsan_stress: FAILURE at PARHASK_SCHED_SEED=$seed" >&2
     echo "reproduce with:" >&2
-    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc|eden_rt' --output-on-failure" >&2
+    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc|eden_rt|chaos' --output-on-failure" >&2
     fail=1
     break
   fi
@@ -59,11 +65,11 @@ done
 
 if [[ $fail -eq 0 && $run_asan -eq 1 ]]; then
   asan_dir=${ASAN_BUILD_DIR:-"$repo_root/build-asan"}
-  echo "=== tsan_stress: ASan pass over the gc label ==="
+  echo "=== tsan_stress: ASan pass over the gc and chaos labels ==="
   cmake -B "$asan_dir" -S "$repo_root" -DPARHASK_SANITIZE=address
   cmake --build "$asan_dir" -j "$(nproc)"
-  if ! (cd "$asan_dir" && ctest -L gc --output-on-failure); then
-    echo "tsan_stress: ASan FAILURE (ctest -L gc in $asan_dir)" >&2
+  if ! (cd "$asan_dir" && ctest -L 'gc|chaos' --output-on-failure); then
+    echo "tsan_stress: ASan FAILURE (ctest -L 'gc|chaos' in $asan_dir)" >&2
     fail=1
   fi
 fi
