@@ -10,10 +10,18 @@
 //     remains). Both runs are crash-free; the delta is what the crash
 //     detector costs when nothing ever dies.
 //   * crash-detection latency — faults.detect_us from a run where a
-//     non-root PE is really SIGKILLed mid-computation (--crash-at µs).
+//     non-root PE is really SIGKILLed mid-computation.
 //   * replay time — faults.replay_us: wall time survivors spent pumping
 //     their send-logs into the restarted incarnation, plus the count of
 //     replayed log entries.
+//
+// The kill offset is *derived from the measured warm-up run* (35% of the
+// supervised median, floored at 1.5ms), not hard-coded: a fixed offset
+// silently stops crashing anything the moment the machine gets faster
+// and the benchmark degrades into measuring nothing. If a crashed rep
+// still finishes before its kill lands, the offset is halved and the rep
+// retried (bounded), so "crashed" rows really crashed. Every mode runs
+// >= 3 reps and reports medians (--reps raises the count).
 //
 // Every run's value is checked against the crash-free sim oracle — a
 // chaos benchmark whose answers drift is measuring a bug, not recovery.
@@ -65,14 +73,31 @@ struct ChaosRow {
   std::string program;
   std::string wire;
   std::uint32_t pes = 0;
-  double sup_on = 0.0;   // seconds, default heartbeats, no crash
-  double sup_off = 0.0;  // seconds, dormant heartbeats, no crash
-  double crashed = 0.0;  // seconds, one SIGKILL mid-run
-  FaultStats faults;     // from the crashed run
+  std::size_t reps = 0;          // reps per mode
+  std::size_t crashed_reps = 0;  // crash reps where the kill really landed
+  std::uint64_t kill_offset_us = 0;  // median achieved kill offset
+  double sup_on = 0.0;   // median seconds, default heartbeats, no crash
+  double sup_off = 0.0;  // median seconds, dormant heartbeats, no crash
+  double crashed = 0.0;  // median seconds, one SIGKILL mid-run
+  FaultStats faults;     // medians over the crashed reps
 };
 
 double pct_over(double num, double base) {
   return base > 0.0 ? (num / base - 1.0) * 100.0 : 0.0;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 != 0 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+}
+
+std::uint64_t median_u64(std::vector<std::uint64_t> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 != 0 ? v[mid] : (v[mid - 1] + v[mid]) / 2;
 }
 
 void write_chaos_json(const std::string& path,
@@ -82,7 +107,9 @@ void write_chaos_json(const std::string& path,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ChaosRow& r = rows[i];
     json << "    {\"program\": \"" << r.program << "\", \"wire\": \"" << r.wire
-         << "\", \"pes\": " << r.pes
+         << "\", \"pes\": " << r.pes << ", \"reps\": " << r.reps
+         << ", \"crashed_reps\": " << r.crashed_reps
+         << ", \"kill_offset_us\": " << r.kill_offset_us
          << ",\n     \"seconds_supervised\": " << r.sup_on
          << ", \"seconds_unsupervised\": " << r.sup_off
          << ", \"supervision_overhead_pct\": " << pct_over(r.sup_on, r.sup_off)
@@ -108,7 +135,11 @@ int main(int argc, char** argv) {
   const std::int64_t mat_q = arg_int(argc, argv, "--mat-q", 2);
   const std::int64_t apsp_n = arg_int(argc, argv, "--apsp-n", 12);
   const std::int64_t apsp_p = arg_int(argc, argv, "--apsp-p", 4);
-  const std::int64_t crash_at = arg_int(argc, argv, "--crash-at", 6000);
+  // 0 (the default) derives the kill offset from the warm-up run; a
+  // positive value pins it (for reproducing a specific timing).
+  const std::int64_t crash_at = arg_int(argc, argv, "--crash-at", 0);
+  const std::size_t reps = static_cast<std::size_t>(
+      std::max<std::int64_t>(3, arg_int(argc, argv, "--reps", 3)));
   std::string out_path = "BENCH_chaos.json";
   std::string wire_name = "both";
   for (int i = 1; i + 1 < argc; ++i) {
@@ -200,31 +231,71 @@ int main(int argc, char** argv) {
       row.program = b.name;
       row.wire = wname;
       row.pes = b.pes;
+      row.reps = reps;
 
-      cfg.fault = FaultPlan{};
-      ChaosRun on = run_proc(prog, cfg, wire, b.setup);
-      check_value(on.value, b.expect, (b.name + " supervised").c_str());
-      row.sup_on = on.seconds;
+      // Warm-up + supervised baseline: the same runs serve both (the
+      // kill offset is derived from what this machine actually measures,
+      // not a hard-coded guess).
+      std::vector<double> on_s, off_s, crash_s;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        cfg.fault = FaultPlan{};
+        ChaosRun on = run_proc(prog, cfg, wire, b.setup);
+        check_value(on.value, b.expect, (b.name + " supervised").c_str());
+        on_s.push_back(on.seconds);
+      }
+      row.sup_on = median(on_s);
 
-      cfg.fault = dormant_plan();
-      ChaosRun off = run_proc(prog, cfg, wire, b.setup);
-      check_value(off.value, b.expect, (b.name + " unsupervised").c_str());
-      row.sup_off = off.seconds;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        cfg.fault = dormant_plan();
+        ChaosRun off = run_proc(prog, cfg, wire, b.setup);
+        check_value(off.value, b.expect, (b.name + " unsupervised").c_str());
+        off_s.push_back(off.seconds);
+      }
+      row.sup_off = median(off_s);
 
-      FaultPlan crash;
-      crash.crash_pe = b.crash_pe;
-      crash.crash_at = static_cast<std::uint64_t>(crash_at);
-      crash.restart_max = 5;
-      cfg.fault = crash;
-      ChaosRun hit = run_proc(prog, cfg, wire, b.setup);
-      check_value(hit.value, b.expect, (b.name + " crashed").c_str());
-      row.crashed = hit.seconds;
-      row.faults = hit.faults;
-      if (hit.faults.crashes == 0)
-        std::printf("  note: %s/%s finished before the %lldus kill — "
-                    "detection columns are empty\n",
-                    b.name.c_str(), wname.c_str(),
-                    static_cast<long long>(crash_at));
+      // 35% into the measured run, floored so the kill can't race the
+      // spawn grace; a rep whose kill still misses (the crashed run got
+      // faster) halves the offset and retries so crashed rows crash.
+      const std::uint64_t derived = std::max<std::uint64_t>(
+          1500, static_cast<std::uint64_t>(row.sup_on * 1e6 * 0.35));
+      std::vector<std::uint64_t> offsets, det, replayed, replay_us, restarts;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        std::uint64_t off_us =
+            crash_at > 0 ? static_cast<std::uint64_t>(crash_at) : derived;
+        ChaosRun hit;
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          FaultPlan crash;
+          crash.crash_pe = b.crash_pe;
+          crash.crash_at = off_us;
+          crash.restart_max = 5;
+          cfg.fault = crash;
+          hit = run_proc(prog, cfg, wire, b.setup);
+          check_value(hit.value, b.expect, (b.name + " crashed").c_str());
+          if (hit.faults.crashes > 0 || crash_at > 0) break;
+          off_us = std::max<std::uint64_t>(500, off_us / 2);
+        }
+        crash_s.push_back(hit.seconds);
+        offsets.push_back(off_us);
+        if (hit.faults.crashes > 0) {
+          row.crashed_reps++;
+          det.push_back(hit.faults.detect_us);
+          replayed.push_back(hit.faults.replayed);
+          replay_us.push_back(hit.faults.replay_us);
+          restarts.push_back(hit.faults.restarts);
+        }
+      }
+      row.crashed = median(crash_s);
+      row.kill_offset_us = median_u64(offsets);
+      row.faults.crashes = row.crashed_reps;
+      row.faults.detect_us = median_u64(det);
+      row.faults.replayed = median_u64(replayed);
+      row.faults.replay_us = median_u64(replay_us);
+      row.faults.restarts = median_u64(restarts);
+      if (row.crashed_reps < reps)
+        std::printf("  note: %s/%s — only %zu/%zu crash reps landed their "
+                    "kill (offset %llu us); medians cover the crashed reps\n",
+                    b.name.c_str(), wname.c_str(), row.crashed_reps, reps,
+                    static_cast<unsigned long long>(row.kill_offset_us));
 
       rows.push_back(row);
       std::printf("%-10s %-5s %12.6f %12.6f %12.6f %10llu %10llu %10llu\n",

@@ -62,6 +62,10 @@ void EdenProcDriver::spawn(std::uint32_t pe, Tso* root, std::uint64_t now) {
     throw std::runtime_error("EdenProcDriver: fork failed");
   }
   if (pid == 0) child_main(pe, root);  // never returns
+  {
+    std::lock_guard<std::mutex> lk(spawned_mu_);
+    spawned_.push_back(pid);
+  }
   s.pid = pid;
   s.respawn_at = 0;
   s.last_beat = now + kSpawnGraceUs;
@@ -228,6 +232,7 @@ EdenRtResult EdenProcDriver::run(Tso* root) {
   slots_.assign(n, PeSlot{});
   incarn_.assign(n, 0);
   finished_ = false;
+  shutdown_requested_.store(false, std::memory_order_release);
   const std::uint64_t hb_ivl = std::max<std::uint64_t>(plan.heartbeat_interval,
                                                        kMinHbIntervalUs);
   const std::uint64_t hb_timeout = std::max<std::uint64_t>(
@@ -237,6 +242,10 @@ EdenRtResult EdenProcDriver::run(Tso* root) {
 
   try {
     while (!finished_) {
+      // Graceful external stop (another thread, or a signal handler):
+      // fall through to shutdown_children() with the workers mid-
+      // computation — they get Shutdown, ship Stats and _Exit(0).
+      if (shutdown_requested_.load(std::memory_order_acquire)) break;
       std::this_thread::sleep_for(std::chrono::microseconds(kTickUs));
       std::uint64_t now = sys_.rt_now();
       drain_supervisor(now);

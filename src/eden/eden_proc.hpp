@@ -31,8 +31,10 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -71,6 +73,23 @@ class EdenProcDriver {
   /// respawn). Exposed so chaos tests can aim their own SIGKILLs.
   pid_t pe_pid(std::uint32_t pe) const { return slots_.at(pe).pid; }
 
+  /// Cross-thread graceful stop. The supervisor loop notices the flag on
+  /// its next tick — even mid-computation — sends Shutdown to every live
+  /// worker, reaps them all (bounded grace, then SIGKILL stragglers) and
+  /// run() returns with whatever result was in hand. One atomic store:
+  /// safe from another thread or a signal handler.
+  void request_shutdown() {
+    shutdown_requested_.store(true, std::memory_order_release);
+  }
+
+  /// Every worker pid this driver ever forked, including replaced
+  /// incarnations — for post-run hygiene asserts: after run() returns,
+  /// none of these may remain a child (zombie or live) of the caller.
+  std::vector<pid_t> spawned_pids() const {
+    std::lock_guard<std::mutex> lk(spawned_mu_);
+    return spawned_;
+  }
+
   /// Chaos-suite hook: the signal the plan's crash entry delivers (default
   /// SIGKILL). SIGSTOP wedges the worker instead of killing it, so only
   /// heartbeat silence — not waitpid — can expose the death; the chaos
@@ -107,6 +126,9 @@ class EdenProcDriver {
 
   std::vector<PeSlot> slots_;
   std::vector<std::uint64_t> incarn_;  // restart count per PE (= channel epochs)
+  std::atomic<bool> shutdown_requested_{false};
+  mutable std::mutex spawned_mu_;
+  std::vector<pid_t> spawned_;  // every pid ever forked (see spawned_pids)
   int crash_signal_ = 9;               // SIGKILL; see set_crash_signal
   bool crash_fired_ = false;           // the plan's -Fc kill has been executed
   std::uint64_t crash_kill_us_ = 0;    // when it was, for detection latency

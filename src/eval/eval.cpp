@@ -38,6 +38,18 @@ std::int64_t hs_mod(std::int64_t a, std::int64_t b) {
 }  // namespace
 
 StepOutcome Machine::step(Capability& c, Tso& t) {
+  // Cooperative cancellation: throttled so an unarmed machine pays one
+  // branch. Must run before any mutation — kill_thread unwinds a thread
+  // that is between steps, and returning Finished here is safe because
+  // every driver already handles a thread that finished with
+  // result == nullptr and `error` set (the HeapOverflow path).
+  if (cancel_ && ++cancel_tick_ >= kCancelPollSteps) {
+    cancel_tick_ = 0;
+    if (const char* why = cancel_(t)) {
+      kill_thread(c, t, why);
+      return StepOutcome::Finished;
+    }
+  }
   bool oom = false;
   auto alloc = [&](ObjKind k, std::uint16_t tag, std::uint32_t n) -> Obj* {
     if (fault_ != nullptr && fault_->fail_alloc(t.id)) {

@@ -60,8 +60,8 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
       else if (name == "tcp") cfg.eden_transport = EdenTransportKind::Tcp;
       else if (name == "proc") cfg.eden_transport = EdenTransportKind::Proc;
       else
-        throw FlagError("unknown Eden transport '" + name +
-                        "' in " + f + " (expected sim, shm, tcp or proc)");
+        throw FlagError("unknown Eden transport '" + name + "' in " + f +
+                        " (valid choices: sim|shm|tcp|proc)");
       continue;
     }
     if (f == "--eden-rt") {

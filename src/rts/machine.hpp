@@ -192,6 +192,18 @@ class Machine {
   void set_fault(FaultInjector* f) { fault_ = f; }
   FaultInjector* fault() const { return fault_; }
 
+  // --- cooperative cancellation ---------------------------------------------
+  /// Polled inside step() every kCancelPollSteps transitions — the same
+  /// cadence class as the allocation check, and in the serve workers the
+  /// hook doubles as the heartbeat tick. A non-null return is a kill
+  /// reason: the running thread is unwound via kill_thread (it finishes
+  /// with result == nullptr and `error` set to the reason), so a deadline
+  /// or a client cancel reaches a long evaluation mid-quantum instead of
+  /// waiting for it to complete. The hook must not re-enter the Machine.
+  using CancelFn = std::function<const char*(const Tso&)>;
+  void set_cancel_hook(CancelFn f) { cancel_ = std::move(f); }
+  static constexpr std::uint32_t kCancelPollSteps = 128;
+
   // --- scheduling primitives (shared by both drivers) -----------------------
   /// Picks the next thread for `c`: run queue first, then local sparks
   /// (per SparkRunPolicy). Returns nullptr if the capability has no local
@@ -322,6 +334,8 @@ class Machine {
   std::array<std::mutex, kStripes> stripes_;
   bool concurrent_ = false;
   FaultInjector* fault_ = nullptr;
+  CancelFn cancel_;
+  std::uint32_t cancel_tick_ = 0;
 
   MachineStats stats_;
 };

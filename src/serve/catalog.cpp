@@ -1,0 +1,122 @@
+#include "serve/catalog.hpp"
+
+#include "progs/all.hpp"
+#include "rts/marshal.hpp"
+
+namespace ph::serve {
+
+namespace {
+
+// Hard parameter bounds: a request is priced in advance, so the largest
+// admissible evaluation must stay well under one deadline's worth of
+// work on one worker.
+constexpr std::int64_t kMaxSumEulerN = 5000;
+constexpr std::int64_t kMaxMatN = 64;
+constexpr std::int64_t kMaxApspN = 64;
+
+const std::vector<CatalogEntry> kEntries = {
+    {"sumeuler", 2, "{n, chunk}: sum of Euler totients 1..n"},
+    {"matmul", 2, "{n, seed}: checksum of n×n matMulSeq product"},
+    {"apsp", 2, "{n, seed}: checksum of all-pairs shortest paths"},
+};
+
+[[noreturn]] void bad(const std::string& what) { throw CatalogError(what); }
+
+void need_params(const std::string& name,
+                 const std::vector<std::int64_t>& params, std::size_t n) {
+  if (params.size() != n)
+    bad(name + " takes " + std::to_string(n) + " params, got " +
+        std::to_string(params.size()));
+}
+
+void bound(const std::string& name, const char* param, std::int64_t v,
+           std::int64_t lo, std::int64_t hi) {
+  if (v < lo || v > hi)
+    bad(name + ": " + param + "=" + std::to_string(v) + " outside [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog_entries() { return kEntries; }
+
+const CatalogEntry* catalog_find(const std::string& name) {
+  for (const CatalogEntry& e : kEntries)
+    if (name == e.name) return &e;
+  return nullptr;
+}
+
+Program make_serve_program() { return make_full_program(); }
+
+Tso* catalog_spawn(Machine& m, const Program& prog, const std::string& name,
+                   const std::vector<std::int64_t>& params) {
+  if (name == "sumeuler") {
+    need_params(name, params, 2);
+    const std::int64_t n = params[0], chunk = params[1];
+    bound(name, "n", n, 1, kMaxSumEulerN);
+    bound(name, "chunk", chunk, 1, kMaxSumEulerN);
+    std::vector<Obj*> held(2, nullptr);
+    RootGuard guard(m, held);  // n > 1024 misses the small-int cache
+    held[0] = make_int(m, 0, chunk);
+    held[1] = make_int(m, 0, n);
+    return m.spawn_apply(prog.find("sumEulerPar"), {held[0], held[1]}, 0);
+  }
+  if (name == "matmul") {
+    need_params(name, params, 2);
+    const std::int64_t n = params[0], seed = params[1];
+    bound(name, "n", n, 1, kMaxMatN);
+    Mat a = random_matrix(static_cast<std::size_t>(n),
+                          static_cast<std::uint64_t>(seed));
+    Mat b = random_matrix(static_cast<std::size_t>(n),
+                          static_cast<std::uint64_t>(seed) + 1);
+    std::vector<Obj*> held(2, nullptr);
+    RootGuard guard(m, held);  // the second matrix build may collect
+    held[0] = make_int_matrix(m, 0, a);
+    held[1] = make_int_matrix(m, 0, b);
+    // matSum (matMulSeq a b): the product matrix never round-trips to the
+    // host — the worker replies with the checksum word.
+    Obj* prod =
+        make_apply_thunk(m, 0, prog.find("matMulSeq"), {held[0], held[1]});
+    held[0] = prod;
+    return m.spawn_apply(prog.find("matSum"), {prod}, 0);
+  }
+  if (name == "apsp") {
+    need_params(name, params, 2);
+    const std::int64_t n = params[0], seed = params[1];
+    bound(name, "n", n, 1, kMaxApspN);
+    DistMat dm = random_graph(static_cast<std::size_t>(n),
+                              static_cast<std::uint64_t>(seed));
+    std::vector<Obj*> held(1, nullptr);
+    RootGuard guard(m, held);
+    held[0] = make_int_matrix(m, 0, dm);
+    // n ≤ 64 hits the static small-int cache, so make_int cannot collect
+    // and move the matrix after the fact.
+    return m.spawn_apply(prog.find("apspChecksum"),
+                         {make_int(m, 0, n), held[0]}, 0);
+  }
+  bad("unknown program '" + name + "'");
+}
+
+std::int64_t catalog_read_result(const std::string& name, Obj* result) {
+  (void)name;  // every entry evaluates to a boxed integer
+  return read_int(result);
+}
+
+std::int64_t catalog_oracle(const std::string& name,
+                            const std::vector<std::int64_t>& params) {
+  if (name == "sumeuler") return sum_euler_reference(params.at(0));
+  if (name == "matmul") {
+    const std::size_t n = static_cast<std::size_t>(params.at(0));
+    const std::uint64_t seed = static_cast<std::uint64_t>(params.at(1));
+    return mat_checksum(matmul_reference(random_matrix(n, seed),
+                                         random_matrix(n, seed + 1)));
+  }
+  if (name == "apsp") {
+    const std::size_t n = static_cast<std::size_t>(params.at(0));
+    const std::uint64_t seed = static_cast<std::uint64_t>(params.at(1));
+    return apsp_checksum(floyd_warshall(random_graph(n, seed)));
+  }
+  bad("unknown program '" + name + "'");
+}
+
+}  // namespace ph::serve

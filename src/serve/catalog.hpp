@@ -1,0 +1,58 @@
+// The request catalog — named prelude programs a worker can evaluate.
+//
+// A ServeRequest names a catalog entry plus integer parameters; the
+// worker builds the argument graph in a *fresh per-request Machine*
+// (request isolation: a heap blown by one request cannot poison the
+// next) and spawns the root TSO. Every entry also carries a host-side
+// oracle so loadgen and the chaos tests can check each served value
+// against the crash-free reference — a serving benchmark whose answers
+// drift is measuring a bug, not throughput.
+//
+// Entries (parameters are validated against hard bounds so a hostile
+// request cannot ask for an unbounded evaluation):
+//   sumeuler {n, chunk}  Σ φ(1..n) via sumEulerPar       (n ≤ 5000)
+//   matmul   {n, seed}   checksum of matMulSeq A·B       (n ≤ 64)
+//   apsp     {n, seed}   checksum of apspChecksum        (n ≤ 64)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "rts/machine.hpp"
+
+namespace ph::serve {
+
+struct CatalogError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct CatalogEntry {
+  const char* name;
+  std::size_t n_params;
+  const char* param_doc;
+};
+
+/// All entries (for --list and validation).
+const std::vector<CatalogEntry>& catalog_entries();
+
+/// nullptr when the name is unknown.
+const CatalogEntry* catalog_find(const std::string& name);
+
+/// The program every worker loads: prelude + all benchmark families.
+Program make_serve_program();
+
+/// Validates params and spawns the root TSO for `name` in `m` (cap 0).
+/// Throws CatalogError on unknown name / bad params.
+Tso* catalog_spawn(Machine& m, const Program& prog, const std::string& name,
+                   const std::vector<std::int64_t>& params);
+
+/// Reads the served value off a finished root (checksums matrices).
+std::int64_t catalog_read_result(const std::string& name, Obj* result);
+
+/// Host-side reference value (the crash-free oracle).
+std::int64_t catalog_oracle(const std::string& name,
+                            const std::vector<std::int64_t>& params);
+
+}  // namespace ph::serve

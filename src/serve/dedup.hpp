@@ -1,0 +1,117 @@
+// Idempotent request IDs — the dedup window.
+//
+// A client that loses its connection mid-request retries with the *same*
+// id; the daemon must never double-execute (requests are priced by the
+// work they do, and the chaos scenario retries aggressively). The window
+// remembers, per id: in-flight (attach the retry to the running
+// execution) or completed (replay the cached reply). Ids below the
+// horizon — evicted by capacity or age — are rejected as Stale rather
+// than re-run: re-execution of a forgotten id is exactly the
+// double-charge the window exists to prevent.
+//
+// The horizon trick requires ids to be monotonically increasing per
+// client, which the ServeClient enforces; it mirrors how ChannelEndpoint
+// receivers use expected_cseq to tell a duplicate from a fresh message.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "serve/wire.hpp"
+
+namespace ph::serve {
+
+class DedupWindow {
+ public:
+  enum class Verdict : std::uint8_t { Fresh, InFlight, Completed, Stale };
+
+  DedupWindow(std::size_t capacity, std::uint64_t max_age_us)
+      : capacity_(capacity ? capacity : 1), max_age_us_(max_age_us) {}
+
+  /// Classifies an incoming id. For Completed the cached reply is in
+  /// `*out` afterwards.
+  Verdict check(std::uint64_t id, std::uint64_t now, ServeReply* out) {
+    sweep(now);
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      if (!it->second.done) return Verdict::InFlight;
+      if (out != nullptr) *out = it->second.reply;
+      return Verdict::Completed;
+    }
+    if (id <= horizon_ && horizon_ != 0) return Verdict::Stale;
+    return Verdict::Fresh;
+  }
+
+  /// Registers an admitted id (execution starting or queued).
+  void begin(std::uint64_t id, std::uint64_t now) {
+    Entry& e = entries_[id];
+    e.done = false;
+    e.stored_at = now;
+    evict_to_capacity();
+  }
+
+  /// Caches the final reply for an id; later duplicates replay it.
+  void complete(std::uint64_t id, const ServeReply& reply, std::uint64_t now) {
+    Entry& e = entries_[id];
+    e.done = true;
+    e.reply = reply;
+    e.stored_at = now;
+    evict_to_capacity();
+  }
+
+  /// Drops an id without caching (e.g. shed before execution) so a retry
+  /// is Fresh again.
+  void forget(std::uint64_t id) { entries_.erase(it_or_end(id)); }
+
+  std::uint64_t horizon() const { return horizon_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    bool done = false;
+    ServeReply reply;
+    std::uint64_t stored_at = 0;
+  };
+
+  std::map<std::uint64_t, Entry>::iterator it_or_end(std::uint64_t id) {
+    return entries_.find(id);
+  }
+
+  void advance_horizon(std::uint64_t id) {
+    if (id > horizon_) horizon_ = id;
+  }
+
+  /// Capacity eviction takes the lowest ids (the oldest under monotonic
+  /// assignment) but never an in-flight entry — losing one would let a
+  /// retry double-execute.
+  void evict_to_capacity() {
+    auto it = entries_.begin();
+    while (entries_.size() > capacity_ && it != entries_.end()) {
+      if (it->second.done) {
+        advance_horizon(it->first);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void sweep(std::uint64_t now) {
+    if (max_age_us_ == 0) return;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.done && now - it->second.stored_at > max_age_us_) {
+        advance_horizon(it->first);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::size_t capacity_;
+  std::uint64_t max_age_us_;
+  std::map<std::uint64_t, Entry> entries_;  // ordered: eviction walks low ids
+  std::uint64_t horizon_ = 0;  // ids <= horizon and absent are Stale
+};
+
+}  // namespace ph::serve

@@ -1,0 +1,94 @@
+// Log-bucketed latency histogram for the serving layer.
+//
+// Latencies span four orders of magnitude between a warm sumeuler hit and
+// a deadline-killed matmul under overload, so fixed-width buckets either
+// waste memory or crush the tail. Buckets grow geometrically (~7% wide:
+// 16 sub-buckets per octave), which bounds the quantile error well below
+// the scheduling noise the daemon itself introduces. Recording is O(1)
+// and allocation-free after construction — safe to call from the daemon
+// event loop per completed request.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ph::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::uint32_t kSubBuckets = 16;  // per power of two
+  static constexpr std::uint32_t kOctaves = 32;     // up to ~2^32 us ≈ 71 min
+  static constexpr std::uint32_t kBuckets = kSubBuckets * kOctaves;
+
+  void record(std::uint64_t us) {
+    buckets_[bucket_of(us)]++;
+    count_++;
+    sum_us_ += us;
+    max_us_ = std::max(max_us_, us);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_us() const { return max_us_; }
+  double mean_us() const {
+    return count_ ? static_cast<double>(sum_us_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Quantile in µs (q in [0,1]); returns the representative value of the
+  /// bucket holding the q-th sample (midpoint), so p999 of an empty or
+  /// tiny histogram degrades gracefully to the max.
+  std::uint64_t quantile_us(double q) const {
+    if (count_ == 0) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) return representative(b);
+    }
+    return max_us_;
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (std::uint32_t b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_us_ += o.sum_us_;
+    max_us_ = std::max(max_us_, o.max_us_);
+  }
+
+  void clear() {
+    buckets_.fill(0);
+    count_ = sum_us_ = max_us_ = 0;
+  }
+
+ private:
+  static std::uint32_t bucket_of(std::uint64_t us) {
+    if (us < kSubBuckets) return static_cast<std::uint32_t>(us);
+    // Octave = position of the leading bit; sub-bucket = next 4 bits.
+    const std::uint32_t msb = 63 - static_cast<std::uint32_t>(
+        __builtin_clzll(us));
+    const std::uint32_t octave = msb - 3;  // first 16 values are octave 0
+    const std::uint32_t sub = static_cast<std::uint32_t>(
+        (us >> (msb - 4)) & (kSubBuckets - 1));
+    const std::uint32_t b = octave * kSubBuckets + sub;
+    return std::min(b, kBuckets - 1);
+  }
+
+  static std::uint64_t representative(std::uint32_t b) {
+    if (b < kSubBuckets) return b;
+    const std::uint32_t octave = b / kSubBuckets;
+    const std::uint32_t sub = b % kSubBuckets;
+    const std::uint64_t base = std::uint64_t{1} << (octave + 3);
+    const std::uint64_t width = base / kSubBuckets;
+    return base + sub * width + width / 2;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_us_ = 0;
+  std::uint64_t max_us_ = 0;
+};
+
+}  // namespace ph::serve

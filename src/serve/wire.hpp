@@ -1,0 +1,108 @@
+// Serving wire protocol — request/reply messages for phserved.
+//
+// Everything rides the existing CRC-framed wire (net::frame /
+// net::FrameReader): a serve message is a DataMsg of kind Ctrl whose
+// `channel` field carries the ServeOp, `cseq` carries the request id and
+// whose packet words hold the op-specific payload. Reusing the Eden frame
+// format means the daemon's client socket and the supervisor↔worker
+// control plane get resynchronisation after torn writes, CRC rejection of
+// bit flips and the 64MB body bound for free — and `edentv`-style tooling
+// can decode a serve stream with the same reader.
+//
+// Payload layouts (little-endian words):
+//   Submit     [deadline_us, n_name_words, name..., n_params, params...]
+//   Cancel     []
+//   Result     [value, exec_us, worker_pe]
+//   Error      [code, n_text_words, text...]
+//   Overloaded [queue_depth, retry_after_us]
+//   Shutdown   []                        (supervisor → worker only)
+//   WorkerStats[executed, killed]        (worker → supervisor, pre-exit)
+//
+// Strings pack 8 bytes per word after a length word; ids are chosen by
+// the client and must be monotonically increasing per connection — the
+// dedup window leans on that order to tell a stale retry from a fresh id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace ph::serve {
+
+/// Ops live above 100 so a mis-routed Eden ProcCtrl opcode (1..5 in the
+/// same channel field) can never alias a serve message.
+enum class ServeOp : std::uint64_t {
+  Submit = 101,
+  Cancel = 102,
+  Result = 103,
+  Error = 104,
+  Overloaded = 105,
+  Shutdown = 106,
+  WorkerStats = 107,
+};
+
+const char* serve_op_name(ServeOp op);
+
+enum class ServeError : std::uint64_t {
+  BadRequest = 1,       // malformed payload / bad params
+  UnknownProgram = 2,   // name not in the catalog
+  DeadlineExceeded = 3,
+  Cancelled = 4,
+  PeLost = 5,           // worker died with the request in flight (retryable)
+  Draining = 6,         // daemon is in SIGTERM drain; submit elsewhere
+  Stale = 7,            // id below the dedup horizon — already forgotten
+  Internal = 8,
+};
+
+const char* serve_error_name(ServeError e);
+
+struct ServeRequest {
+  std::uint64_t id = 0;
+  /// Relative to submission on the client wire; rewritten to an absolute
+  /// fleet-epoch µs deadline before it reaches a worker. 0 = daemon default.
+  std::uint64_t deadline_us = 0;
+  std::string program;
+  std::vector<std::int64_t> params;
+};
+
+struct ServeReply {
+  ServeOp op = ServeOp::Result;
+  std::uint64_t id = 0;
+  // Result
+  std::int64_t value = 0;
+  std::uint64_t exec_us = 0;
+  std::uint32_t worker_pe = 0;
+  // Error
+  ServeError error = ServeError::Internal;
+  std::string error_text;
+  // Overloaded
+  std::uint64_t queue_depth = 0;
+  std::uint64_t retry_after_us = 0;
+};
+
+// --- encoding ---------------------------------------------------------------
+net::DataMsg encode_submit(const ServeRequest& req);
+net::DataMsg encode_cancel(std::uint64_t id);
+net::DataMsg encode_reply(const ServeReply& r);
+net::DataMsg encode_shutdown();
+net::DataMsg encode_worker_stats(std::uint64_t executed, std::uint64_t killed);
+
+// --- decoding ---------------------------------------------------------------
+/// Parses a Submit payload. Returns nullopt (never throws) on a
+/// malformed body — the daemon answers BadRequest instead of dying.
+std::optional<ServeRequest> decode_submit(const net::DataMsg& m);
+/// Parses any worker/daemon→client reply op. nullopt on malformed body.
+std::optional<ServeReply> decode_reply(const net::DataMsg& m);
+
+/// True when the DataMsg carries a serve op (vs an Eden ProcCtrl frame).
+bool is_serve_op(const net::DataMsg& m);
+
+// String <-> word helpers (shared with tests).
+void pack_string(const std::string& s, std::vector<Word>& out);
+std::optional<std::string> unpack_string(const std::vector<Word>& words,
+                                         std::size_t& pos);
+
+}  // namespace ph::serve

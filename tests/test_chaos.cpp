@@ -10,7 +10,12 @@
 // never a hang — every test carries an explicit ctest TIMEOUT).
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/wait.h>
+
+#include <cerrno>
 #include <csignal>
+#include <thread>
 
 #include "eden/eden_proc.hpp"
 #include "progs/apsp.hpp"
@@ -231,6 +236,43 @@ TEST(ProcChaos, RestartBudgetExhaustionFailsStructuredNotHung) {
         << e.what();
   }
   EXPECT_TRUE(threw) << "budget exhaustion surfaced no error";
+}
+
+TEST(ProcChaos, GracefulShutdownMidComputationReapsAllWorkers) {
+  // request_shutdown() from another thread while the fleet is deep in a
+  // computation: the supervisor must deliver Shutdown, let the workers
+  // ship Stats and _Exit(0), and reap every pid it ever forked — no
+  // zombies, no orphans, and nothing left on /dev/shm (the rings are
+  // unlinked at creation precisely so a teardown cannot leak them).
+  ProcRig r(4);
+  Obj* partials = skel::par_map_reduce(*r.sys, r.prog.find("sumPhi"),
+                                       sumeuler_tasks(*r.sys));
+  Tso* root = skel::root_apply(*r.sys, r.prog.find("sum"), {partials});
+  EdenProcDriver d(*r.sys, nullptr, net::ProcWire::Shm);
+  EdenRtResult res;
+  std::thread runner([&] { res = d.run(root); });
+  // sumEuler(200) runs tens of ms: 15ms in, the workers are mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  d.request_shutdown();
+  runner.join();
+
+  const std::vector<pid_t> pids = d.spawned_pids();
+  ASSERT_EQ(pids.size(), 4u);  // no crash, no respawn: one fork per PE
+  for (pid_t pid : pids) {
+    // waitpid-verified: the supervisor already reaped this child. ECHILD
+    // (not 0/EINTR, not a status) is the only acceptable answer — a 0
+    // would mean a live orphan, a status would mean a zombie we inherited.
+    errno = 0;
+    EXPECT_EQ(waitpid(pid, nullptr, WNOHANG), -1) << "pid " << pid;
+    EXPECT_EQ(errno, ECHILD) << "pid " << pid;
+  }
+  EXPECT_EQ(res.faults.crashes, 0u);
+  if (DIR* shm = opendir("/dev/shm")) {
+    while (dirent* e = readdir(shm))
+      EXPECT_EQ(std::string(e->d_name).find("parhask"), std::string::npos)
+          << "leaked shm segment " << e->d_name;
+    closedir(shm);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Wires, ProcRt,

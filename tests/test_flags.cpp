@@ -104,10 +104,21 @@ TEST(Flags, EdenTransportFlag) {
             EdenTransportKind::Tcp);
   EXPECT_EQ(parse_rts_flags("--eden-transport=proc").eden_transport,
             EdenTransportKind::Proc);
-  // Unknown transport names are a structured error, not a silent default.
-  EXPECT_THROW(parse_rts_flags("--eden-transport=pvm"), FlagError);
+  // Unknown transport names are a structured error, not a silent default,
+  // and the message names every valid choice so the fix is in the error.
+  try {
+    parse_rts_flags("--eden-transport=pvm");
+    FAIL() << "expected FlagError for --eden-transport=pvm";
+  } catch (const FlagError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("pvm"), std::string::npos) << msg;
+    for (const char* choice : {"sim", "shm", "tcp", "proc"})
+      EXPECT_NE(msg.find(choice), std::string::npos)
+          << "missing choice " << choice << " in: " << msg;
+  }
   EXPECT_THROW(parse_rts_flags("--eden-transport="), FlagError);
   EXPECT_THROW(parse_rts_flags("--eden-transport=SHM"), FlagError);
+  EXPECT_THROW(parse_rts_flags("--eden-transport=tcp,shm"), FlagError);
   // Round-trips through show; the Sim default stays implicit.
   RtsConfig c = parse_rts_flags("-N2 --eden-transport=tcp");
   const std::string shown = show_rts_flags(c);

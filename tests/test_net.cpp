@@ -182,6 +182,36 @@ TEST(ChannelEndpoint, ReordersAndDeduplicates) {
   EXPECT_EQ(applied.size(), 2u);
 }
 
+TEST(ChannelEndpoint, ClientVisibleRetriesExecuteOnceThenGoStale) {
+  // The serving dedup story at the wire layer: a sender that never saw
+  // its ack retries the *same* cseq — every duplicate must be re-acked
+  // (the lost frame may have been the ack itself) but applied exactly
+  // once. Once the receiver repoints to a new incarnation, retries of
+  // the old epoch are outside the window: rejected stale — dropped with
+  // neither ack nor application — never silently re-executed.
+  ChannelEndpoint ep;
+  FaultStats fs;
+  int executed = 0;
+  auto apply = [&](const DataMsg&) { executed++; };
+
+  DataMsg m = sample_msg(0, 0, {});
+  EXPECT_TRUE(ep.receive(m, fs, apply));
+  for (int retry = 0; retry < 5; ++retry)
+    EXPECT_TRUE(ep.receive(m, fs, apply));  // re-acked, not re-applied
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(fs.dedup_dropped, 5u);
+
+  ep.repoint();  // new incarnation: the old dedup window is gone
+  EXPECT_FALSE(ep.receive(m, fs, apply));  // stale epoch: no ack, no apply
+  EXPECT_EQ(executed, 1);
+
+  // Same cseq under the fresh epoch is fresh work, not a duplicate.
+  DataMsg fresh = sample_msg(0, 0, {});
+  fresh.epoch = ep.epoch();
+  EXPECT_TRUE(ep.receive(fresh, fs, apply));
+  EXPECT_EQ(executed, 2);
+}
+
 TEST(ChannelEndpoint, RetriesWithBackoff) {
   ChannelEndpoint ep;
   FaultPlan plan;

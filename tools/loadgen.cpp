@@ -1,0 +1,425 @@
+// loadgen — open-loop traffic generator for phserved.
+//
+// Drives an in-process daemon (fresh fleet per scenario, ephemeral port,
+// real TCP) at a fixed offered load and writes BENCH_serving.json:
+// requests/sec plus p50/p99/p999 latency for
+//
+//   {sumeuler, matmul, apsp} × {healthy, overload, chaos}
+//
+// healthy   Poisson arrivals at ~50% of measured capacity;
+// overload  bursty arrivals at ~3× capacity against a small admission
+//           queue — the daemon must shed with structured Overloaded
+//           rejections, never queue unboundedly, never crash;
+// chaos     Poisson at healthy load with a worker SIGKILLed mid-traffic
+//           (the -Fc plan's kill, delivered via the fleet) — lost
+//           in-flight requests retry via idempotent ids and every value
+//           is checked against the crash-free oracle. Every request in
+//           this regime is also submitted twice (a paranoid client) to
+//           prove the dedup window executes it once.
+//
+// Latency is open-loop: measured from the *scheduled* arrival, so a
+// stalled daemon accrues queueing delay instead of silently thinning the
+// offered load (no coordinated omission).
+//
+//   loadgen                                # full sweep, BENCH_serving.json
+//   loadgen --pes 4 --duration-ms 2500 --out BENCH_serving.json
+//   loadgen --program sumeuler --scenario overload
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace ph;
+using namespace ph::serve;
+
+namespace {
+
+std::int64_t arg_int(int argc, char** argv, const char* name,
+                     std::int64_t dflt) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  return dflt;
+}
+
+const char* arg_str(int argc, char** argv, const char* name,
+                    const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return dflt;
+}
+
+std::uint64_t now_us_since(const std::chrono::steady_clock::time_point& t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+struct ProgSpec {
+  std::string name;
+  // params(i): the i-th request's parameter vector (seeds rotate so the
+  // dedup window sees distinct work, not one memoised value).
+  std::vector<std::int64_t> params(std::uint64_t i) const {
+    if (name == "sumeuler") return {120, 10};
+    if (name == "matmul") return {12, static_cast<std::int64_t>(1 + i % 4)};
+    return {12, static_cast<std::int64_t>(100 + i % 4)};  // apsp
+  }
+};
+
+struct ScenarioResult {
+  std::string program;
+  std::string scenario;
+  std::string arrivals;
+  double offered_rps = 0;
+  double duration_s = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t errors_other = 0;
+  std::uint64_t retried = 0;        // client resubmits (same id)
+  std::uint64_t dup_submitted = 0;  // paranoid duplicate submits (chaos)
+  std::uint64_t dup_replies = 0;    // extra replies for already-settled ids
+  std::uint64_t value_mismatches = 0;
+  std::uint64_t requeued_lost = 0;  // daemon-side transparent requeues
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t worker_respawns = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t daemon_shed = 0;
+  std::uint64_t max_queue_seen = 0;
+  LatencyHistogram lat;
+  double achieved_rps() const {
+    return duration_s > 0 ? static_cast<double>(completed) / duration_s : 0;
+  }
+};
+
+struct Outstanding {
+  std::uint64_t arrival_us = 0;
+  std::int64_t expect = 0;
+  bool settled = false;
+};
+
+/// One scenario against a fresh in-process daemon.
+ScenarioResult run_scenario(const Program& program, const ProgSpec& spec,
+                            const std::string& scenario, double rate_rps,
+                            std::uint64_t duration_us, std::uint32_t pes,
+                            std::uint64_t deadline_us, std::uint64_t seed) {
+  ScenarioResult res;
+  res.program = spec.name;
+  res.scenario = scenario;
+  const bool bursty = scenario == "overload";
+  const bool chaos = scenario == "chaos";
+  res.arrivals = bursty ? "bursty" : "poisson";
+  res.offered_rps = rate_rps;
+
+  ServeConfig cfg;
+  cfg.port = 0;
+  cfg.queue_capacity = bursty ? 16 : 64;  // overload must actually shed
+  cfg.default_deadline_us = deadline_us;
+  cfg.fleet.n_pes = pes;
+  cfg.fleet.worker_rts = config_worksteal_eagerbh(1);
+  cfg.fleet.worker_rts.heap.nursery_words = 256 * 1024;
+  ServeDaemon daemon(program, cfg);
+  daemon.start();
+  std::thread loop([&] { daemon.run(); });
+
+  ServeClient client;
+  client.connect(daemon.port());
+
+  // Oracles for the (few) distinct parameter vectors.
+  std::map<std::vector<std::int64_t>, std::int64_t> oracle;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const std::vector<std::int64_t> p = spec.params(i);
+    if (oracle.find(p) == oracle.end()) oracle[p] = catalog_oracle(spec.name, p);
+  }
+
+  // Open-loop arrival schedule, precomputed.
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> arrivals;
+  if (!bursty) {
+    std::exponential_distribution<double> exp_us(rate_rps / 1e6);
+    double t = 0;
+    while (t < static_cast<double>(duration_us)) {
+      t += exp_us(rng);
+      arrivals.push_back(static_cast<std::uint64_t>(t));
+    }
+  } else {
+    // Bursts every 200ms carrying that window's full budget at once.
+    const std::uint64_t period = 200'000;
+    const std::uint64_t burst =
+        static_cast<std::uint64_t>(rate_rps * 0.2) + 1;
+    for (std::uint64_t t = 0; t < duration_us; t += period)
+      for (std::uint64_t k = 0; k < burst; ++k) arrivals.push_back(t);
+  }
+  res.scheduled = arrivals.size();
+
+  std::map<std::uint64_t, Outstanding> live;  // id → bookkeeping
+  std::uint64_t next_id = 1;
+  std::size_t next_arrival = 0;
+  const std::uint64_t kill_at = duration_us / 2;
+  bool killed = false;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto submit_one = [&](std::uint64_t id, std::uint64_t arrival) {
+    const std::vector<std::int64_t> p = spec.params(id);
+    ServeRequest req;
+    req.id = id;
+    req.program = spec.name;
+    req.params = p;
+    client.submit(req);
+    if (chaos) {
+      client.submit(req);  // paranoid duplicate: must not double-execute
+      res.dup_submitted++;
+    }
+    Outstanding& o = live[id];
+    o.arrival_us = arrival;
+    o.expect = oracle[p];
+  };
+
+  auto handle = [&](const ServeReply& r) {
+    auto it = live.find(r.id);
+    if (it == live.end()) return;
+    Outstanding& o = it->second;
+    if (o.settled) {
+      // The duplicate submit's fan-out copy: values must agree.
+      res.dup_replies++;
+      if (r.op == ServeOp::Result && r.value != o.expect)
+        res.value_mismatches++;
+      return;
+    }
+    switch (r.op) {
+      case ServeOp::Result:
+        res.completed++;
+        res.lat.record(now_us_since(t0) - o.arrival_us);
+        if (r.value != o.expect) res.value_mismatches++;
+        o.settled = true;
+        break;
+      case ServeOp::Overloaded:
+        res.shed++;
+        res.max_queue_seen = std::max(res.max_queue_seen, r.queue_depth);
+        o.settled = true;  // open loop: shed work is not re-offered
+        break;
+      case ServeOp::Error:
+        if (r.error == ServeError::DeadlineExceeded) {
+          res.deadline_exceeded++;
+          o.settled = true;
+        } else if (r.error == ServeError::PeLost) {
+          // Idempotent retry: same id, new attempt.
+          res.retried++;
+          const std::vector<std::int64_t> p = spec.params(r.id);
+          ServeRequest req;
+          req.id = r.id;
+          req.program = spec.name;
+          req.params = p;
+          client.submit(req);
+        } else {
+          res.errors_other++;
+          o.settled = true;
+        }
+        break;
+      default:
+        break;
+    }
+  };
+
+  for (;;) {
+    const std::uint64_t now = now_us_since(t0);
+    while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now) {
+      submit_one(next_id, arrivals[next_arrival]);
+      next_id++;
+      next_arrival++;
+    }
+    if (chaos && !killed && now >= kill_at) {
+      // kill -9 a non-root worker mid-traffic; supervision respawns it
+      // and the daemon requeues whatever it was executing.
+      daemon.fleet().inject_kill(pes > 1 ? 1 : 0);
+      killed = true;
+    }
+    while (std::optional<ServeReply> r = client.poll()) handle(*r);
+    bool all_settled = next_arrival >= arrivals.size();
+    if (all_settled)
+      for (const auto& [id, o] : live)
+        if (!o.settled) {
+          all_settled = false;
+          break;
+        }
+    if (all_settled) break;
+    if (now > duration_us + deadline_us + 2'000'000) break;  // safety valve
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  res.duration_s = static_cast<double>(now_us_since(t0)) / 1e6;
+
+  daemon.request_drain();
+  loop.join();
+  res.requeued_lost = daemon.stats().requeued_lost;
+  res.daemon_shed = daemon.stats().shed;
+  res.worker_deaths = daemon.fleet().stats().deaths;
+  res.worker_respawns = daemon.fleet().stats().respawns;
+  res.quarantines = daemon.fleet().stats().quarantines;
+  return res;
+}
+
+/// Mean service time per program, measured on a small warm fleet.
+std::map<std::string, double> calibrate(const Program& program,
+                                        const std::vector<ProgSpec>& specs,
+                                        std::uint32_t pes) {
+  ServeConfig cfg;
+  cfg.port = 0;
+  cfg.fleet.n_pes = pes;
+  cfg.fleet.worker_rts = config_worksteal_eagerbh(1);
+  cfg.fleet.worker_rts.heap.nursery_words = 256 * 1024;
+  ServeDaemon daemon(program, cfg);
+  daemon.start();
+  std::thread loop([&] { daemon.run(); });
+  ServeClient client;
+  client.connect(daemon.port());
+  std::map<std::string, double> service_us;
+  std::uint64_t id = 1;
+  for (const ProgSpec& s : specs) {
+    double total = 0;
+    int counted = 0;
+    for (int i = 0; i < 4; ++i) {
+      ServeRequest req;
+      req.id = id++;
+      req.program = s.name;
+      req.params = s.params(static_cast<std::uint64_t>(i));
+      client.submit(req);
+      std::optional<ServeReply> r = client.wait(req.id, 10'000'000);
+      if (r && r->op == ServeOp::Result && i > 0) {  // skip the cold one
+        total += static_cast<double>(r->exec_us);
+        counted++;
+      }
+    }
+    service_us[s.name] = counted > 0 ? total / counted : 2000.0;
+  }
+  daemon.request_drain();
+  loop.join();
+  return service_us;
+}
+
+void write_json(const std::string& path, std::uint32_t pes,
+                const std::vector<ScenarioResult>& rows) {
+  std::ofstream json(path);
+  json << "{\n  \"bench\": \"serving\",\n  \"pes\": " << pes
+       << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioResult& r = rows[i];
+    json << "    {\"program\": \"" << r.program << "\", \"scenario\": \""
+         << r.scenario << "\", \"arrivals\": \"" << r.arrivals << "\",\n"
+         << "     \"offered_rps\": " << r.offered_rps
+         << ", \"achieved_rps\": " << r.achieved_rps()
+         << ", \"duration_s\": " << r.duration_s << ",\n"
+         << "     \"scheduled\": " << r.scheduled
+         << ", \"completed\": " << r.completed << ", \"shed\": " << r.shed
+         << ", \"deadline_exceeded\": " << r.deadline_exceeded
+         << ", \"errors_other\": " << r.errors_other << ",\n"
+         << "     \"retried\": " << r.retried
+         << ", \"dup_submitted\": " << r.dup_submitted
+         << ", \"dup_replies\": " << r.dup_replies
+         << ", \"requeued_lost\": " << r.requeued_lost
+         << ", \"value_mismatches\": " << r.value_mismatches << ",\n"
+         << "     \"worker_deaths\": " << r.worker_deaths
+         << ", \"worker_respawns\": " << r.worker_respawns
+         << ", \"quarantines\": " << r.quarantines
+         << ", \"max_queue_seen\": " << r.max_queue_seen << ",\n"
+         << "     \"p50_ms\": " << r.lat.quantile_us(0.50) / 1000.0
+         << ", \"p99_ms\": " << r.lat.quantile_us(0.99) / 1000.0
+         << ", \"p999_ms\": " << r.lat.quantile_us(0.999) / 1000.0
+         << ", \"max_ms\": " << r.lat.max_us() / 1000.0 << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  signal(SIGPIPE, SIG_IGN);
+  const std::uint32_t pes =
+      static_cast<std::uint32_t>(arg_int(argc, argv, "--pes", 4));
+  const std::uint64_t duration_us =
+      static_cast<std::uint64_t>(arg_int(argc, argv, "--duration-ms", 2500)) *
+      1000;
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(arg_int(argc, argv, "--deadline-ms", 2000)) *
+      1000;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(arg_int(argc, argv, "--seed", 42));
+  const std::string only_prog = arg_str(argc, argv, "--program", "");
+  const std::string only_scen = arg_str(argc, argv, "--scenario", "");
+  const std::string out_path =
+      arg_str(argc, argv, "--out", "BENCH_serving.json");
+
+  std::vector<ProgSpec> specs = {{"sumeuler"}, {"matmul"}, {"apsp"}};
+  if (!only_prog.empty()) {
+    specs.erase(std::remove_if(specs.begin(), specs.end(),
+                               [&](const ProgSpec& s) {
+                                 return s.name != only_prog;
+                               }),
+                specs.end());
+    if (specs.empty()) {
+      std::fprintf(stderr, "unknown --program '%s'\n", only_prog.c_str());
+      return 2;
+    }
+  }
+
+  Program program = make_serve_program();
+
+  std::printf("loadgen: calibrating service times (%u PEs)...\n", pes);
+  const std::map<std::string, double> service_us =
+      calibrate(program, specs, pes);
+  for (const auto& [name, us] : service_us)
+    std::printf("  %-10s ~%.0f us/request\n", name.c_str(), us);
+
+  const std::vector<std::string> scenarios = {"healthy", "overload", "chaos"};
+  std::vector<ScenarioResult> rows;
+  std::uint64_t mismatches = 0;
+  // Workers beyond the physical core count just time-slice, so offered
+  // load is sized against min(pes, cores) — otherwise "healthy" on a
+  // small box is secretly overload.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const double eff_pes = static_cast<double>(std::min(pes, hw));
+  for (const ProgSpec& s : specs) {
+    const double capacity = eff_pes * 1e6 / service_us.at(s.name);
+    for (const std::string& sc : scenarios) {
+      if (!only_scen.empty() && sc != only_scen) continue;
+      const double rate = sc == "overload" ? 3.0 * capacity : 0.5 * capacity;
+      std::printf("loadgen: %s/%s at %.0f req/s...\n", s.name.c_str(),
+                  sc.c_str(), rate);
+      std::fflush(stdout);
+      ScenarioResult r = run_scenario(program, s, sc, rate, duration_us, pes,
+                                      deadline_us, seed);
+      std::printf(
+          "  completed %llu/%llu shed %llu dl %llu retried %llu "
+          "deaths %llu p50 %.2fms p99 %.2fms p999 %.2fms\n",
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.scheduled),
+          static_cast<unsigned long long>(r.shed),
+          static_cast<unsigned long long>(r.deadline_exceeded),
+          static_cast<unsigned long long>(r.retried),
+          static_cast<unsigned long long>(r.worker_deaths),
+          r.lat.quantile_us(0.50) / 1000.0, r.lat.quantile_us(0.99) / 1000.0,
+          r.lat.quantile_us(0.999) / 1000.0);
+      mismatches += r.value_mismatches;
+      rows.push_back(std::move(r));
+    }
+  }
+
+  write_json(out_path, pes, rows);
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "loadgen: %llu value mismatches against the oracle\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  return 0;
+}

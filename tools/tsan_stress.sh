@@ -16,7 +16,11 @@
 #               SIGKILLed mid-run, supervisor reap/heartbeat detection,
 #               restart + send-log replay (TSan sees only the supervisor
 #               process — the forked single-threaded workers re-exec
-#               nothing, so their side is exercised, not instrumented).
+#               nothing, so their side is exercised, not instrumented);
+#   serving   — phserved end-to-end robustness: the ServeDaemon event loop
+#               (client thread vs daemon thread), the forked worker fleet,
+#               admission/dedup/breaker policies under chaos kills and the
+#               graceful drain path.
 # Each iteration exports a fresh PARHASK_SCHED_SEED, which the seeded tests
 # pick up to derive their delay decisions. A data race found by TSan is
 # therefore reproducible: re-export the seed printed on the failing line and
@@ -24,12 +28,14 @@
 # the gc label follows the TSan sweep (one iteration — ASan failures are
 # not schedule-dependent): the block-structured to-space is exactly where a
 # bad carve would read out of bounds, and the chaos label puts ASan inside
-# the supervisor's frame handling and the workers' replay paths.
+# the supervisor's frame handling and the workers' replay paths, and the
+# serving label walks the daemon's wire decode, per-request Machines and
+# drain teardown under the same instrumentation.
 #
 # Usage: tools/tsan_stress.sh [iterations] [base-seed] [--asan]
 #   iterations  number of seeds to try        (default 20)
 #   base-seed   first seed; i-th run uses base-seed + i  (default 1)
-#   --asan      also build with PARHASK_SANITIZE=address and run `-L 'gc|chaos'`
+#   --asan      also build with PARHASK_SANITIZE=address and run `-L 'gc|chaos|serving'`
 set -euo pipefail
 
 run_asan=0
@@ -54,10 +60,10 @@ for ((i = 0; i < iterations; ++i)); do
   seed=$((base_seed + i))
   echo "=== tsan_stress: seed $seed ($((i + 1))/$iterations) ==="
   if ! (cd "$build_dir" && PARHASK_SCHED_SEED=$seed \
-        ctest -L 'schedtest|gc|eden_rt|chaos' --output-on-failure); then
+        ctest -L 'schedtest|gc|eden_rt|chaos|serving' --output-on-failure); then
     echo "tsan_stress: FAILURE at PARHASK_SCHED_SEED=$seed" >&2
     echo "reproduce with:" >&2
-    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc|eden_rt|chaos' --output-on-failure" >&2
+    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc|eden_rt|chaos|serving' --output-on-failure" >&2
     fail=1
     break
   fi
@@ -65,11 +71,11 @@ done
 
 if [[ $fail -eq 0 && $run_asan -eq 1 ]]; then
   asan_dir=${ASAN_BUILD_DIR:-"$repo_root/build-asan"}
-  echo "=== tsan_stress: ASan pass over the gc and chaos labels ==="
+  echo "=== tsan_stress: ASan pass over the gc, chaos and serving labels ==="
   cmake -B "$asan_dir" -S "$repo_root" -DPARHASK_SANITIZE=address
   cmake --build "$asan_dir" -j "$(nproc)"
-  if ! (cd "$asan_dir" && ctest -L 'gc|chaos' --output-on-failure); then
-    echo "tsan_stress: ASan FAILURE (ctest -L 'gc|chaos' in $asan_dir)" >&2
+  if ! (cd "$asan_dir" && ctest -L 'gc|chaos|serving' --output-on-failure); then
+    echo "tsan_stress: ASan FAILURE (ctest -L 'gc|chaos|serving' in $asan_dir)" >&2
     fail=1
   fi
 fi
