@@ -16,6 +16,7 @@
 //    (possible under lazy black-holing) — counted, and the result dropped.
 #include <cassert>
 
+#include "eval/bytecode.hpp"
 #include "rts/machine.hpp"
 #include "rts/schedtest.hpp"
 
@@ -49,6 +50,20 @@ StepOutcome Machine::step(Capability& c, Tso& t) {
       kill_thread(c, t, why);
       return StepOutcome::Finished;
     }
+  }
+  // Compiled-code dispatch: an Eval of an activation the translator
+  // covered (or a resume after NeedGc mid-block), and a value returning
+  // to a suspended bytecode block. Everything else — Enter, interpreter
+  // frames, uncovered expressions — runs below; the engines interleave
+  // freely because they share the machine state model.
+  if (bytecode_ != nullptr) {
+    if ((t.code.mode == CodeMode::Eval &&
+         (t.code.bc_pc != kNoBytecodePc ||
+          bytecode_->entries[static_cast<std::size_t>(t.code.expr)] !=
+              bc::kNoEntry)) ||
+        (t.code.mode == CodeMode::Ret && !t.stack.empty() &&
+         t.stack.back().kind == FrameKind::Bytecode))
+      return step_bytecode(c, t);
   }
   bool oom = false;
   auto alloc = [&](ObjKind k, std::uint16_t tag, std::uint32_t n) -> Obj* {
@@ -514,6 +529,11 @@ StepOutcome Machine::step(Capability& c, Tso& t) {
           }
           throw EvalError("corrupt native action");
         }
+        case FrameKind::Bytecode:
+          // Unreachable: the dispatch above routes returns into Bytecode
+          // frames to step_bytecode, and such frames only exist while
+          // bytecode_ is loaded.
+          throw EvalError("bytecode frame reached the interpreter");
       }
       throw EvalError("corrupt stack frame");
     }

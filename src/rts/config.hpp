@@ -105,6 +105,16 @@ struct RtsConfig {
   /// analyses run against a verified program; parse_rts_flags rejects the
   /// combination --spark-elide without lint.
   bool spark_elide = false;
+  /// --bytecode: lower the (linted) program to linear bytecode and run
+  /// activations through the block dispatch loop in src/eval/bceval.cpp
+  /// instead of the tree-walking interpreter. Implies a load-time lint.
+  /// See DESIGN.md §15.
+  bool bytecode = false;
+  /// --code-cache=PATH: persist the compiled unit across runs in a
+  /// CRC-framed cache file keyed on the Program content hash + bytecode
+  /// format version. Only meaningful (and only accepted) with --bytecode;
+  /// empty = in-process registry only.
+  std::string code_cache;
 
   std::string name = "custom";
 };

@@ -76,6 +76,15 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
       cfg.spark_elide = true;
       continue;
     }
+    if (f == "--bytecode") {
+      cfg.bytecode = true;
+      continue;
+    }
+    if (f.rfind("--code-cache=", 0) == 0) {
+      cfg.code_cache = f.substr(std::string("--code-cache=").size());
+      if (cfg.code_cache.empty()) throw FlagError("missing path in " + f);
+      continue;
+    }
     const std::string rest = f.substr(2);
     switch (f[1]) {
       case 'N': {
@@ -132,6 +141,10 @@ RtsConfig parse_rts_flags(const std::vector<std::string>& flags, RtsConfig base)
     throw FlagError(
         "--spark-elide requires --lint (or -DL): elision consumes the "
         "lint-verified analysis results");
+  if (!cfg.code_cache.empty() && !cfg.bytecode)
+    throw FlagError(
+        "--code-cache requires --bytecode: the cache stores compiled "
+        "bytecode units");
   cfg.name = "flags";
   return cfg;
 }
@@ -156,6 +169,8 @@ std::string show_rts_flags(const RtsConfig& cfg) {
   if (cfg.sanity) out << " -DS";
   if (cfg.lint) out << " -DL";
   if (cfg.spark_elide) out << " --spark-elide";
+  if (cfg.bytecode) out << " --bytecode";
+  if (!cfg.code_cache.empty()) out << " --code-cache=" << cfg.code_cache;
   if (cfg.gc_threads != 0) out << " --gc-threads=" << cfg.gc_threads;
   if (cfg.eden_transport != EdenTransportKind::Sim)
     out << " --eden-transport=" << eden_transport_name(cfg.eden_transport);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/lint/lint.hpp"
+#include "eval/bytecode.hpp"
 #include "rts/schedtest.hpp"
 
 namespace ph {
@@ -105,6 +106,12 @@ Machine::Machine(const Program& prog, RtsConfig cfg) : prog_(prog), cfg_(std::mo
   // sim, Eden rt) funnels its program through this constructor, so one
   // hook covers all four.
   if (cfg_.lint) lint_or_throw(prog_, {}, "load");
+  if (cfg_.bytecode) {
+    // Only linted programs are compiled (ISSUE: "lower linted
+    // supercombinator Programs"); --bytecode without --lint still lints.
+    if (!cfg_.lint) lint_or_throw(prog_, {}, "bytecode");
+    bytecode_ = bc::shared_cache().get_or_compile(prog_, cfg_.code_cache);
+  }
   if (cfg_.n_caps == 0) throw ProgramError("machine needs at least one capability");
   cfg_.heap.n_nurseries = cfg_.n_caps;
   cfg_.heap.gc_threads = cfg_.gc_threads == 0 ? cfg_.n_caps : cfg_.gc_threads;
@@ -603,6 +610,7 @@ DeadlockDiagnosis Machine::diagnose_deadlock() {
 void Machine::walk_tso(Gc& gc, Tso& t) {
   if (t.code.ptr != nullptr) gc.evacuate(t.code.ptr);
   for (Obj*& p : t.code.env) gc.evacuate(p);
+  for (Obj*& p : t.code.scratch) gc.evacuate(p);
   for (Frame& f : t.stack) {
     for (Obj*& p : f.env) gc.evacuate(p);
     if (f.obj != nullptr) gc.evacuate(f.obj);
@@ -690,6 +698,7 @@ void Machine::validate_roots(const char* when) {
     Tso& t = *tp;
     check(t.code.ptr, "code.ptr", t.id);
     for (Obj* p : t.code.env) check(p, "code.env", t.id);
+    for (Obj* p : t.code.scratch) check(p, "code.scratch", t.id);
     for (Frame& f : t.stack) {
       for (Obj* p : f.env) check(p, "frame.env", t.id);
       check(f.obj, "frame.obj", t.id);

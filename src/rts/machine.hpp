@@ -32,6 +32,10 @@
 
 namespace ph {
 
+namespace bc {
+struct CodeBlob;
+}
+
 /// Raised when evaluation goes wrong (type mismatch at a primop, the
 /// `error#` primitive, division by zero, ...).
 struct EvalError : std::runtime_error {
@@ -145,6 +149,15 @@ class Machine {
   /// transactional w.r.t. allocation: on NeedGc nothing was mutated and
   /// the step can be retried after a collection.
   StepOutcome step(Capability& c, Tso& t);
+
+  /// Block-at-a-time dispatch loop for compiled activations (bceval.cpp).
+  /// Entered from step() when --bytecode compiled the current activation;
+  /// shares Enter/Ret (locking, black holes, updates, hooks) with the
+  /// interpreter. Same transactional contract as step().
+  StepOutcome step_bytecode(Capability& c, Tso& t);
+
+  /// Compiled code for the program (nullptr unless cfg.bytecode).
+  const bc::CodeBlob* bytecode() const { return bytecode_.get(); }
 
   /// Lazy black-holing (§IV.A.3): called when a thread is suspended; marks
   /// the thunks under evaluation by this thread as black holes. No-op
@@ -310,6 +323,7 @@ class Machine {
 
   const Program& prog_;
   RtsConfig cfg_;
+  std::shared_ptr<const bc::CodeBlob> bytecode_;
   std::unique_ptr<Heap> heap_;
   std::vector<std::unique_ptr<Capability>> caps_;
   std::vector<std::unique_ptr<Tso>> tsos_;

@@ -112,7 +112,15 @@ void ThreadedDriver::worker(std::uint32_t ci, Tso* main_tso) {
         }
         const std::uint64_t before = progress_.load();
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        if (progress_.load() == before && !m_.work_anywhere() &&
+        // A peer holding a runnable thread counts as progress even when
+        // the OS has descheduled it mid-run (its thread is in no queue,
+        // so work_anywhere() can't see it): deadlock needs *every*
+        // worker idle, not just a flat progress counter — otherwise a
+        // loaded box turns a preempted mutator into a false deadlock.
+        bool all_idle = true;
+        for (std::uint32_t w = 0; w < m_.n_caps() && all_idle; ++w)
+          all_idle = m_.cap(w).idle.load(std::memory_order_relaxed);
+        if (all_idle && progress_.load() == before && !m_.work_anywhere() &&
             !m_.heap().gc_requested() && !done_.load()) {
           if (++deadlock_strikes >= 5) {
             // Five quiet wall-clock checks: every worker is idle and no

@@ -49,11 +49,22 @@ enum class CodeMode : std::uint8_t {
   Ret    // deliver WHNF ptr to the top stack frame
 };
 
+/// Sentinel for Code::bc_pc: the activation has no suspended bytecode
+/// position (equals bc::kNoPc).
+constexpr std::uint32_t kNoBytecodePc = 0xffffffffu;
+
 struct Code {
   CodeMode mode = CodeMode::Ret;
   ExprId expr = kNoExpr;
   Env env;
   Obj* ptr = nullptr;
+  /// Bytecode engine only: instruction to retry after a NeedGc inside a
+  /// block (kNoBytecodePc when not suspended mid-block).
+  std::uint32_t bc_pc = kNoBytecodePc;
+  /// Bytecode engine only: the operand stack of the current block. A GC
+  /// root like env; empty whenever the thread is outside the bytecode
+  /// dispatch loop (suspended operands live in Bytecode frames).
+  Env scratch;
 };
 
 enum class FrameKind : std::uint8_t {
@@ -64,7 +75,10 @@ enum class FrameKind : std::uint8_t {
   Seq,         // expr = continuation body, env
   ForceDeep,   // deep (normal-form) forcing: obj = Con being traversed or
                // nullptr while awaiting the root WHNF; idx = next field
-  Native       // native = handler, aux = handler state (e.g. an outport)
+  Native,      // native = handler, aux = handler state (e.g. an outport)
+  Bytecode     // suspended bytecode block: aux = resume pc, env = saved
+               // environment, ptrs = saved operand stack, expr = the
+               // activation's root expression (diagnostics/kill only)
 };
 
 struct Frame {

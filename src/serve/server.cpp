@@ -14,6 +14,9 @@
 #include <sstream>
 #include <thread>
 
+#include "core/lint/lint.hpp"
+#include "eval/bytecode.hpp"
+
 namespace ph::serve {
 
 namespace {
@@ -74,6 +77,16 @@ void ServeDaemon::start() {
       if (c.fd >= 0) ::close(c.fd);
     if (user_hook) user_hook();
   };
+  // Precompile the catalog program before the fleet forks: the workers
+  // inherit the registry entry, so per-request Machines share one blob
+  // instead of each recompiling, and a --code-cache file is read (or
+  // written) exactly once, by the daemon. A defective cache file is
+  // rejected and recompiled here; an unwritable path fails start-up
+  // loudly instead of failing every request.
+  if (fc.worker_rts.bytecode) {
+    lint_or_throw(prog_, {}, "bytecode");
+    bc::shared_cache().get_or_compile(prog_, fc.worker_rts.code_cache);
+  }
   fleet_ = std::make_unique<ServeFleet>(prog_, fc);
   fleet_->start();
 }

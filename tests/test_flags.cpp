@@ -1,7 +1,10 @@
 // RTS flag parser: GHC-style configuration strings.
 #include <gtest/gtest.h>
 
+#include "core/builder.hpp"
+#include "eval/bytecode.hpp"
 #include "rts/flags.hpp"
+#include "rts/machine.hpp"
 #include "rts/schedtest.hpp"
 
 namespace ph {
@@ -185,6 +188,62 @@ TEST(Flags, SparkElideRequiresLint) {
   EXPECT_TRUE(c2.spark_elide);
   EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2 -DL")).find("--spark-elide"),
             std::string::npos);
+}
+
+TEST(Flags, BytecodeFlag) {
+  EXPECT_FALSE(parse_rts_flags("").bytecode);
+  EXPECT_TRUE(parse_rts_flags("--bytecode").bytecode);
+  EXPECT_TRUE(parse_rts_flags("-N4 --bytecode -qs").bytecode);
+  // No argument form exists.
+  EXPECT_THROW(parse_rts_flags("--bytecode=1"), FlagError);
+  // Round-trips through show; absent when off.
+  RtsConfig c = parse_rts_flags("-N2 --bytecode");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find("--bytecode"), std::string::npos) << shown;
+  EXPECT_TRUE(parse_rts_flags(shown).bytecode);
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2")).find("--bytecode"),
+            std::string::npos);
+}
+
+TEST(Flags, CodeCacheRequiresBytecode) {
+  // The cache stores compiled bytecode units, so the path is rejected
+  // unless --bytecode is also given — order independent.
+  EXPECT_THROW(parse_rts_flags("--code-cache=/tmp/x.bc"), FlagError);
+  EXPECT_THROW(parse_rts_flags("-N4 --code-cache=/tmp/x.bc -qs"), FlagError);
+  EXPECT_THROW(parse_rts_flags("--code-cache="), FlagError);  // missing path
+  EXPECT_EQ(parse_rts_flags("--bytecode --code-cache=/tmp/x.bc").code_cache,
+            "/tmp/x.bc");
+  EXPECT_EQ(parse_rts_flags("--code-cache=/tmp/x.bc --bytecode").code_cache,
+            "/tmp/x.bc");
+  EXPECT_TRUE(parse_rts_flags("--bytecode").code_cache.empty());
+  // Round-trips through show; absent when off.
+  RtsConfig c = parse_rts_flags("-N2 --bytecode --code-cache=/tmp/x.bc");
+  const std::string shown = show_rts_flags(c);
+  EXPECT_NE(shown.find("--code-cache=/tmp/x.bc"), std::string::npos) << shown;
+  RtsConfig c2 = parse_rts_flags(shown);
+  EXPECT_TRUE(c2.bytecode);
+  EXPECT_EQ(c2.code_cache, "/tmp/x.bc");
+  EXPECT_EQ(show_rts_flags(parse_rts_flags("-N2 --bytecode")).find("--code-cache"),
+            std::string::npos);
+}
+
+TEST(Flags, UnwritableCodeCachePathFailsMachineLoad) {
+  // The parser accepts any syntactically valid path; the structured
+  // Unwritable rejection happens when the Machine first tries to persist
+  // the compiled unit — loudly, at load time, not at first request.
+  Program p;
+  Builder b(p);
+  b.fun("idf", {"x"}, [](Ctx& c) { return c.var("x"); });
+  p.validate();
+  RtsConfig cfg = parse_rts_flags("--bytecode --code-cache=/nonexistent-dir-ph/u.bc");
+  try {
+    Machine m(p, cfg);
+    FAIL() << "expected CacheError{Unwritable}";
+  } catch (const bc::CacheError& e) {
+    EXPECT_EQ(e.defect, bc::CacheDefect::Unwritable);
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-ph"),
+              std::string::npos) << e.what();
+  }
 }
 
 TEST(SchedFlags, ParseAndDefaults) {

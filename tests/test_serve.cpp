@@ -18,10 +18,12 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <thread>
 
+#include "eval/bytecode.hpp"
 #include "serve/admission.hpp"
 #include "serve/client.hpp"
 #include "serve/dedup.hpp"
@@ -307,6 +309,70 @@ TEST(ServeDaemon, ServesCatalogToOracleValues) {
   rig.stop();
   EXPECT_EQ(rig.daemon->stats().completed, 3u);
   EXPECT_EQ(rig.daemon->stats().failed, 0u);
+}
+
+TEST(ServeDaemon, BytecodeWorkersServeCatalogValueEqualToInterpreter) {
+  // phserved --bytecode: the whole fleet runs the bytecode engine. The
+  // daemon precompiles the catalog program before forking (the workers
+  // inherit the registry entry), persists it at --code-cache, and the
+  // three catalog kernels must serve values equal to interpreted mode.
+  const std::string cache = ::testing::TempDir() + "ph_serve_cache.bc";
+  std::remove(cache.c_str());
+  bc::shared_cache().clear();
+
+  auto bc_tweak = [&cache](ServeConfig& c) {
+    c.fleet.worker_rts.bytecode = true;
+    c.fleet.worker_rts.code_cache = cache;
+  };
+  const std::vector<std::int64_t> se{60, 10}, mm{8, 3}, ap{8, 7};
+  std::vector<std::int64_t> bytecode_values;
+  {
+    DaemonRig rig(bc_tweak);
+    // Cold cache: the daemon compiled once and wrote the cache file.
+    bc::CacheStats st = bc::shared_cache().stats();
+    EXPECT_EQ(st.compiles, 1u);
+    EXPECT_EQ(st.file_loads, 0u);
+    EXPECT_EQ(st.file_saves, 1u);
+    std::uint64_t id = 1;
+    for (const auto& [name, params] :
+         {std::pair<const char*, std::vector<std::int64_t>>{"sumeuler", se},
+          {"matmul", mm},
+          {"apsp", ap}}) {
+      std::optional<ServeReply> r = rig.ask(id++, name, params);
+      ASSERT_TRUE(r && r->op == ServeOp::Result) << name;
+      EXPECT_EQ(r->value, catalog_oracle(name, params)) << name;
+      bytecode_values.push_back(r->value);
+    }
+    rig.stop();
+    EXPECT_EQ(rig.daemon->stats().failed, 0u);
+  }
+  {
+    // A fresh daemon (simulated fresh process: cleared registry) warm-starts
+    // from the cache file instead of recompiling.
+    bc::shared_cache().clear();
+    DaemonRig rig(bc_tweak);
+    bc::CacheStats st = bc::shared_cache().stats();
+    EXPECT_EQ(st.compiles, 0u);
+    EXPECT_EQ(st.file_loads, 1u);
+    std::optional<ServeReply> r = rig.ask(9, "sumeuler", se);
+    ASSERT_TRUE(r && r->op == ServeOp::Result);
+    EXPECT_EQ(r->value, catalog_oracle("sumeuler", se));
+  }
+  {
+    // Interpreted mode serves the same values.
+    DaemonRig rig;
+    std::uint64_t id = 21;
+    std::size_t k = 0;
+    for (const auto& [name, params] :
+         {std::pair<const char*, std::vector<std::int64_t>>{"sumeuler", se},
+          {"matmul", mm},
+          {"apsp", ap}}) {
+      std::optional<ServeReply> r = rig.ask(id++, name, params);
+      ASSERT_TRUE(r && r->op == ServeOp::Result) << name;
+      EXPECT_EQ(r->value, bytecode_values[k++]) << name;
+    }
+  }
+  std::remove(cache.c_str());
 }
 
 TEST(ServeDaemon, UnknownProgramAndBadParamsAreStructuredErrors) {

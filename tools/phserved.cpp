@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
           "  --dedup N        dedup window capacity (default 4096)\n"
           "  --wire shm|tcp   worker control-plane wire (default shm)\n"
           "  --rts FLAGS      worker RTS flags (paper grammar)\n"
+          "  --bytecode       run workers on the bytecode engine (DESIGN.md §15)\n"
+          "  --code-cache P   persist compiled bytecode units at P (needs --bytecode)\n"
           "  --fault FLAGS    fault plan (-FR budget, -Fc chaos kill, ...)\n"
           "  --list           print the request catalog and exit\n"
           "SIGTERM/SIGINT drain gracefully: finish in-flight work, flush\n"
@@ -104,6 +106,19 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "phserved: %s\n", e.what());
     return 2;
+  }
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--bytecode") == 0)
+      cfg.fleet.worker_rts.bytecode = true;
+  const std::string code_cache = arg_str(argc, argv, "--code-cache", "");
+  if (!code_cache.empty()) {
+    if (!cfg.fleet.worker_rts.bytecode) {
+      std::fprintf(stderr,
+                   "phserved: --code-cache requires --bytecode: the cache "
+                   "stores compiled bytecode units\n");
+      return 2;
+    }
+    cfg.fleet.worker_rts.code_cache = code_cache;
   }
 
   Program prog = make_serve_program();

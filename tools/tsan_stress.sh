@@ -20,7 +20,12 @@
 #   serving   — phserved end-to-end robustness: the ServeDaemon event loop
 #               (client thread vs daemon thread), the forked worker fleet,
 #               admission/dedup/breaker policies under chaos kills and the
-#               graceful drain path.
+#               graceful drain path;
+#   bytecode  — the bytecode backend: the interpreter-vs-bytecode
+#               differential fuzzer on the sim and OS-thread drivers (engine
+#               divergence, spark-counter drift), an Eden-RT value check
+#               with every PE on the bytecode engine, and the code-cache
+#               robustness suite (truncation, bit rot, stale versions).
 # Each iteration exports a fresh PARHASK_SCHED_SEED, which the seeded tests
 # pick up to derive their delay decisions. A data race found by TSan is
 # therefore reproducible: re-export the seed printed on the failing line and
@@ -30,12 +35,14 @@
 # bad carve would read out of bounds, and the chaos label puts ASan inside
 # the supervisor's frame handling and the workers' replay paths, and the
 # serving label walks the daemon's wire decode, per-request Machines and
-# drain teardown under the same instrumentation.
+# drain teardown under the same instrumentation; the bytecode label runs
+# the dispatch loop and the cache file decoder over adversarial inputs,
+# where an unchecked operand or a short read is an out-of-bounds access.
 #
 # Usage: tools/tsan_stress.sh [iterations] [base-seed] [--asan]
 #   iterations  number of seeds to try        (default 20)
 #   base-seed   first seed; i-th run uses base-seed + i  (default 1)
-#   --asan      also build with PARHASK_SANITIZE=address and run `-L 'gc|chaos|serving'`
+#   --asan      also build with PARHASK_SANITIZE=address and run `-L 'gc|chaos|serving|bytecode'`
 set -euo pipefail
 
 run_asan=0
@@ -60,10 +67,10 @@ for ((i = 0; i < iterations; ++i)); do
   seed=$((base_seed + i))
   echo "=== tsan_stress: seed $seed ($((i + 1))/$iterations) ==="
   if ! (cd "$build_dir" && PARHASK_SCHED_SEED=$seed \
-        ctest -L 'schedtest|gc|eden_rt|chaos|serving' --output-on-failure); then
+        ctest -L 'schedtest|gc|eden_rt|chaos|serving|bytecode' --output-on-failure); then
     echo "tsan_stress: FAILURE at PARHASK_SCHED_SEED=$seed" >&2
     echo "reproduce with:" >&2
-    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc|eden_rt|chaos|serving' --output-on-failure" >&2
+    echo "  cd $build_dir && PARHASK_SCHED_SEED=$seed ctest -L 'schedtest|gc|eden_rt|chaos|serving|bytecode' --output-on-failure" >&2
     fail=1
     break
   fi
@@ -74,8 +81,8 @@ if [[ $fail -eq 0 && $run_asan -eq 1 ]]; then
   echo "=== tsan_stress: ASan pass over the gc, chaos and serving labels ==="
   cmake -B "$asan_dir" -S "$repo_root" -DPARHASK_SANITIZE=address
   cmake --build "$asan_dir" -j "$(nproc)"
-  if ! (cd "$asan_dir" && ctest -L 'gc|chaos|serving' --output-on-failure); then
-    echo "tsan_stress: ASan FAILURE (ctest -L 'gc|chaos|serving' in $asan_dir)" >&2
+  if ! (cd "$asan_dir" && ctest -L 'gc|chaos|serving|bytecode' --output-on-failure); then
+    echo "tsan_stress: ASan FAILURE (ctest -L 'gc|chaos|serving|bytecode' in $asan_dir)" >&2
     fail=1
   fi
 fi
